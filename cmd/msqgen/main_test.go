@@ -1,0 +1,45 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"metricdb/internal/dataset"
+)
+
+func TestRunGeneratesAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		kind string
+		dim  int
+	}{
+		{"uniform", 6},
+		{"nearuniform", 12},
+		{"clustered", 8},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.kind+".gob")
+		if err := run(out, c.kind, 500, c.dim, 4, 0.05, 4, c.kind == "clustered", 0, 7); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		items, err := dataset.ReadFile(out)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if len(items) != 500 || items[0].Vec.Dim() != c.dim {
+			t.Errorf("%s: %d items of dim %d", c.kind, len(items), items[0].Vec.Dim())
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "uniform", 10, 2, 1, 0, 1, false, 0, 1); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "x"), "weird", 10, 2, 1, 0, 1, false, 0, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "x"), "nearuniform", 10, 2, 1, 0, 99, false, 0, 1); err == nil {
+		t.Error("bad intrinsic dimension accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Command msqserver serves similarity queries over TCP, providing the
+// multiple similarity query as a basic DBMS operation (the paper's closing
+// recommendation). The protocol is line-delimited JSON; each connection
+// owns one incremental multi-query session.
+//
+// Usage:
+//
+//	msqserver -addr :7707 [-data file.gob] [-n 20000] [-dim 16]
+//	          [-engine scan|xtree|vafile]
+//
+// Request/response format (one JSON object per line):
+//
+//	{"op":"query","queries":[{"vector":[...],"kind":"knn","k":10}]}
+//	{"op":"multi","queries":[{"id":1,"vector":[...],"kind":"range","range":0.5}, ...]}
+//	{"op":"multi_all","queries":[...]}
+//	{"op":"stats"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"metricdb"
+	"metricdb/internal/dataset"
+	"metricdb/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7707", "listen address")
+		dataFile = flag.String("data", "", "dataset file written by msqgen (default: generate)")
+		n        = flag.Int("n", 20000, "generated dataset size")
+		dim      = flag.Int("dim", 16, "generated dataset dimensionality")
+		engine   = flag.String("engine", "xtree", "physical organization: scan, xtree or vafile")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataFile, *n, *dim, *engine); err != nil {
+		fmt.Fprintln(os.Stderr, "msqserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataFile string, n, dim int, engine string) error {
+	var items []metricdb.Item
+	var err error
+	if dataFile != "" {
+		items, err = dataset.ReadFile(dataFile)
+	} else {
+		items, err = dataset.Clustered(dataset.ClusteredConfig{Seed: 1, N: n, Dim: dim, Clusters: 8})
+	}
+	if err != nil {
+		return err
+	}
+
+	srv, lis, err := serve(addr, items, engine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d items (%s engine) on %s\n", len(items), engine, lis.Addr())
+	defer srv.Close()
+	return srv.Serve(lis)
+}
+
+// serve builds the database and binds the listener (separated for tests).
+func serve(addr string, items []metricdb.Item, engine string) (*wire.Server, net.Listener, error) {
+	db, err := metricdb.Open(items, metricdb.Options{Engine: metricdb.EngineKind(engine)})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := wire.NewServer(db.Processor())
+	if err != nil {
+		return nil, nil, err
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, lis, nil
+}

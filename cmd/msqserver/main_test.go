@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/wire"
+)
+
+func TestServeEndToEnd(t *testing.T) {
+	items := dataset.Uniform(3, 500, 4)
+	srv, lis, err := serve("127.0.0.1:0", items, "xtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	c, err := wire.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	answers, stats, err := c.Query(wire.QuerySpec{
+		Vector: []float64{0.5, 0.5, 0.5, 0.5}, Kind: "knn", K: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 7 || stats.DistCalcs == 0 {
+		t.Errorf("answers=%d stats=%+v", len(answers), stats)
+	}
+}
+
+func TestServeRejectsBadEngine(t *testing.T) {
+	items := dataset.Uniform(4, 50, 3)
+	if _, _, err := serve("127.0.0.1:0", items, "btree"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

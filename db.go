@@ -1,0 +1,262 @@
+package metricdb
+
+import (
+	"fmt"
+
+	"metricdb/internal/engine"
+	"metricdb/internal/msq"
+	"metricdb/internal/scan"
+	"metricdb/internal/store"
+	"metricdb/internal/vafile"
+	"metricdb/internal/xtree"
+)
+
+// EngineKind selects the physical data organization.
+type EngineKind string
+
+// Supported engines.
+const (
+	// EngineScan is the sequential scan: always applicable, sequential
+	// I/O only, and the maximal beneficiary of multiple similarity
+	// queries (the per-query I/O speed-up is exactly m).
+	EngineScan EngineKind = "scan"
+	// EngineXTree is the X-tree index: selective in low and moderate
+	// dimensions, with supernodes avoiding high-overlap directory splits.
+	EngineXTree EngineKind = "xtree"
+	// EngineVAFile is the vector-approximation file: a scan over
+	// in-memory bit-quantized approximations that reads only the exact
+	// vectors its distance bounds cannot exclude — the refined scan the
+	// paper cites (Weber et al., VLDB 1998).
+	EngineVAFile EngineKind = "vafile"
+)
+
+// Options configures Open. The zero value selects a sequential scan with
+// Euclidean distance, a page capacity derived from 32 KB blocks, the
+// paper's 10 %-of-pages LRU buffer, and both avoidance lemmas.
+type Options struct {
+	// Engine selects the physical organization; empty means EngineScan.
+	Engine EngineKind
+	// Metric is the distance function; nil means Euclidean.
+	Metric Metric
+	// PageCapacity is the number of items per data page; 0 derives it
+	// from a 32 KB block at the data's dimensionality.
+	PageCapacity int
+	// BufferPages sizes the LRU page buffer; 0 selects the 10 % default
+	// and a negative value disables buffering.
+	BufferPages int
+	// Avoidance selects the triangle-inequality mode; the zero value is
+	// AvoidBoth.
+	Avoidance AvoidanceMode
+	// XTree overrides advanced X-tree parameters; nil uses defaults
+	// derived from PageCapacity.
+	XTree *XTreeOptions
+	// VAFileBits is the bits-per-dimension of the VA-file engine
+	// (0 selects 6).
+	VAFileBits int
+}
+
+// XTreeOptions exposes the X-tree tuning knobs.
+type XTreeOptions struct {
+	// DirFanout is the normal directory fanout (0: derived from block
+	// size).
+	DirFanout int
+	// MaxOverlap is the supernode threshold in (0, 1] (0: the 20 %
+	// default).
+	MaxOverlap float64
+	// MinFillRatio is the minimum node fill on splits (0: 0.4).
+	MinFillRatio float64
+	// STRBulkLoad builds the tree with Sort-Tile-Recursive packing
+	// instead of dynamic insertion: much faster construction and full
+	// pages, but more leaf overlap in high dimensions.
+	STRBulkLoad bool
+	// ReinsertFraction enables R*-style forced reinsertion during
+	// dynamic insertion (0 disables, 0.3 is the R* recommendation).
+	ReinsertFraction float64
+}
+
+// DB is a metric database ready to answer similarity queries. A DB is safe
+// for concurrent single queries; batches (sessions) are single-goroutine.
+type DB struct {
+	items []Item
+	dim   int
+	eng   engine.Engine
+	proc  *msq.Processor
+	opts  Options
+}
+
+// Open builds a database over items. Items must be numbered 0..n-1 (see
+// NewItems) and dimensionally consistent; they are not copied.
+func Open(items []Item, opts Options) (*DB, error) {
+	dim, err := validateItems(items)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Metric == nil {
+		opts.Metric = Euclidean()
+	}
+	if opts.PageCapacity == 0 {
+		opts.PageCapacity = store.PageCapacityForBlockSize(32768, dim)
+	}
+	if opts.PageCapacity < 1 {
+		return nil, fmt.Errorf("metricdb: page capacity must be >= 1, got %d", opts.PageCapacity)
+	}
+	bufferPages := opts.BufferPages
+	switch {
+	case bufferPages == 0:
+		bufferPages = store.DefaultBufferPages((len(items) + opts.PageCapacity - 1) / opts.PageCapacity)
+	case bufferPages < 0:
+		bufferPages = 0
+	}
+
+	var eng engine.Engine
+	switch opts.Engine {
+	case EngineScan, "":
+		eng, err = scan.New(items, opts.PageCapacity, bufferPages)
+	case EngineVAFile:
+		eng, err = vafile.New(items, vafile.Config{
+			Bits:         opts.VAFileBits,
+			PageCapacity: opts.PageCapacity,
+			BufferPages:  bufferPages,
+			Metric:       opts.Metric,
+		})
+	case EngineXTree:
+		cfg := xtree.DefaultConfig(dim)
+		cfg.LeafCapacity = opts.PageCapacity
+		cfg.BufferPages = bufferPages
+		cfg.Metric = opts.Metric
+		if x := opts.XTree; x != nil {
+			if x.DirFanout != 0 {
+				cfg.DirFanout = x.DirFanout
+			}
+			cfg.MaxOverlap = x.MaxOverlap
+			cfg.MinFillRatio = x.MinFillRatio
+			cfg.ReinsertFraction = x.ReinsertFraction
+		}
+		if opts.XTree != nil && opts.XTree.STRBulkLoad {
+			eng, err = xtree.BulkSTR(items, dim, cfg)
+		} else {
+			eng, err = xtree.Bulk(items, dim, cfg)
+		}
+	default:
+		return nil, fmt.Errorf("metricdb: unknown engine %q", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts}, nil
+}
+
+// Len returns the number of stored items.
+func (db *DB) Len() int { return len(db.items) }
+
+// Dim returns the dimensionality of the stored vectors.
+func (db *DB) Dim() int { return db.dim }
+
+// Items returns the stored items. The slice is shared, not copied.
+func (db *DB) Items() []Item { return db.items }
+
+// Item returns the item with the given ID.
+func (db *DB) Item(id ItemID) (Item, error) {
+	if int(id) >= len(db.items) {
+		return Item{}, fmt.Errorf("metricdb: no item %d in database of %d items", id, len(db.items))
+	}
+	return db.items[id], nil
+}
+
+// Engine returns the engine kind in use.
+func (db *DB) Engine() EngineKind {
+	if db.opts.Engine == "" {
+		return EngineScan
+	}
+	return db.opts.Engine
+}
+
+// NumPages returns the number of data pages of the physical organization.
+func (db *DB) NumPages() int { return db.eng.NumPages() }
+
+// Query evaluates a single similarity query (the algorithm of Figure 1)
+// and returns the answers in ascending distance order.
+func (db *DB) Query(q Vector, t QueryType) ([]Answer, Stats, error) {
+	answers, stats, err := db.proc.Single(q, t)
+	if err != nil {
+		return nil, stats, err
+	}
+	return answers.Answers(), stats, nil
+}
+
+// ResetCounters zeroes the I/O and distance counters and clears the page
+// buffer, so a following measurement starts cold. It returns the I/O
+// statistics accumulated so far.
+func (db *DB) ResetCounters() store.IOStats {
+	db.proc.Metric().Reset()
+	return db.eng.Pager().ResetStats()
+}
+
+// IOStats returns the accumulated simulated-disk statistics.
+func (db *DB) IOStats() store.IOStats { return db.eng.Pager().Disk().Stats() }
+
+// Batch is a multiple-similarity-query session: partial answers and the
+// inter-query distance matrix are buffered across calls. Not safe for
+// concurrent use.
+type Batch struct {
+	db      *DB
+	session *msq.Session
+}
+
+// NewBatch starts a session for incremental multiple similarity queries.
+func (db *DB) NewBatch() *Batch {
+	return &Batch{db: db, session: db.proc.NewSession()}
+}
+
+// Query evaluates a multiple similarity query per Definition 4: the
+// answers for queries[0] are complete; those of the remaining queries are
+// correct partial results, completed by later calls that list them first.
+// The returned answer slices are aligned with queries.
+func (b *Batch) Query(queries []Query) ([][]Answer, Stats, error) {
+	lists, stats, err := b.session.MultiQuery(queries)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([][]Answer, len(lists))
+	for i, l := range lists {
+		out[i] = l.Answers()
+	}
+	return out, stats, nil
+}
+
+// QueryAll evaluates the whole batch to completion, reusing every page and
+// buffered answer across the queries.
+func (b *Batch) QueryAll(queries []Query) ([][]Answer, Stats, error) {
+	lists, stats, err := b.session.MultiQueryAll(queries)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([][]Answer, len(lists))
+	for i, l := range lists {
+		out[i] = l.Answers()
+	}
+	return out, stats, nil
+}
+
+// Ranking is an incremental nearest-neighbor iterator: objects are emitted
+// in ascending distance, reading data pages lazily (the Hjaltason–Samet
+// ranking the paper's page scheduling is based on). Obtain one with
+// DB.Ranking; call Next until ok is false.
+type Ranking = msq.Ranking
+
+// Ranking starts an incremental nearest-neighbor ranking from q. Stopping
+// after k results costs exactly what an optimal k-NN query costs, without
+// fixing k in advance.
+func (db *DB) Ranking(q Vector) (*Ranking, error) {
+	return db.proc.Ranking(q)
+}
+
+// Processor exposes the underlying multiple-similarity-query processor for
+// in-module integrations such as the wire server; most callers should use
+// Query, NewBatch and the mining methods instead.
+func (db *DB) Processor() *msq.Processor { return db.proc }

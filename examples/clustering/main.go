@@ -1,0 +1,50 @@
+// Density-based clustering (DBSCAN) driven by multiple similarity queries:
+// the ExploreNeighborhoodsMultiple transformation in action. The cluster
+// expansion issues its range queries in batches, prefetching the pending
+// seed objects' neighborhoods from the pages that are being read anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metricdb"
+	"metricdb/internal/dataset"
+)
+
+func main() {
+	items, err := dataset.Clustered(dataset.ClusteredConfig{
+		Seed: 11, N: 20000, Dim: 8, Clusters: 6, Spread: 0.03, NoiseFraction: 0.08,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := metricdb.Open(items, metricdb.Options{Engine: metricdb.EngineXTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const eps, minPts = 0.10, 6
+	fmt.Printf("DBSCAN(eps=%g, minPts=%d) over %d objects, %d pages\n\n", eps, minPts, db.Len(), db.NumPages())
+
+	for _, batch := range []int{1, 10, 50} {
+		db.ResetCounters()
+		res, err := db.DBSCAN(eps, minPts, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes := make(map[int]int)
+		noise := 0
+		for _, l := range res.Labels {
+			if l == metricdb.DBSCANNoise {
+				noise++
+			} else {
+				sizes[l]++
+			}
+		}
+		fmt.Printf("batch m=%2d: %d clusters, %d noise | %d range queries, %d pages read, %d distance calcs (%d avoided)\n",
+			batch, res.Clusters, noise, res.Stats.Steps,
+			res.Stats.Query.PagesRead, res.Stats.Query.TotalDistCalcs(), res.Stats.Query.Avoided)
+	}
+	fmt.Println("\nthe clustering result is identical for every batch size — only the cost changes")
+}

@@ -1,0 +1,71 @@
+// Manual data exploration by concurrent users — the paper's image-database
+// workload (§6): each of c users repeatedly picks one of their k current
+// answers; the system prefetches the k-NN of all current answers as one
+// block of m = c·k multiple similarity queries per round.
+//
+// The example also demonstrates the general ExploreNeighborhoods framework
+// directly, with custom hooks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metricdb"
+	"metricdb/internal/dataset"
+)
+
+func main() {
+	// A small "image database": clustered 64-d color histograms.
+	items, err := dataset.Clustered(dataset.ClusteredConfig{
+		Seed: 21, N: 15000, Dim: 64, Clusters: 12, Spread: 0.03, Histogram: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := metricdb.Open(items, metricdb.Options{Engine: metricdb.EngineScan})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: the simulated multi-user exploration session.
+	fmt.Println("simulated exploration: 5 users x 6 rounds of 20-NN navigation")
+	stats, err := db.SimulateExploration(metricdb.ExplorationConfig{
+		Users: 5, K: 20, Rounds: 6, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perQuery := float64(stats.Query.PagesRead) / float64(stats.Steps)
+	fmt.Printf("  %d k-NN queries answered with %d page reads (%.2f pages/query on a %d-page database)\n",
+		stats.Steps, stats.Query.PagesRead, perQuery, db.NumPages())
+	fmt.Printf("  %d distance calcs, %d avoided by the triangle inequality\n\n",
+		stats.Query.TotalDistCalcs(), stats.Query.Avoided)
+
+	// Part 2: a custom exploration with the generic framework — walk
+	// outward from one image, following only very similar answers, and
+	// collect everything visited (Figure 2 / Figure 3 of the paper).
+	var visited []metricdb.ItemID
+	hooks := metricdb.Hooks{
+		Proc2: func(obj metricdb.Item, answers []metricdb.Answer) {
+			visited = append(visited, obj.ID)
+		},
+		Filter: func(obj metricdb.Item, answers []metricdb.Answer) []metricdb.ItemID {
+			var next []metricdb.ItemID
+			for _, a := range answers {
+				if a.Dist <= 0.05 { // only near-duplicates
+					next = append(next, a.ID)
+				}
+			}
+			return next
+		},
+		Condition: func(controlLen, step int) bool { return controlLen > 0 && step < 200 },
+	}
+	es, err := db.ExploreMultiple([]metricdb.ItemID{0}, metricdb.KNNQuery(20), 25, hooks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom exploration from image 0: visited %d similar images in %d steps\n", len(visited), es.Steps)
+	fmt.Printf("  cost: %d pages, %d distance calcs (%d avoided)\n",
+		es.Query.PagesRead, es.Query.TotalDistCalcs(), es.Query.Avoided)
+}

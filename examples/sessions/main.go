@@ -1,0 +1,91 @@
+// General metric data without vectors: WWW-access sessions compared by
+// edit distance, indexed with the M-tree, and queried with batched range
+// queries that share the traversal and avoid distance calculations via
+// Lemmas 1 and 2 — the paper's "general case of metric databases".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metricdb"
+	"metricdb/internal/dataset"
+)
+
+// editDistance is the Levenshtein distance, a metric on strings.
+func editDistance(a, b string) float64 {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if c := cur[j-1] + 1; c < m {
+				m = c
+			}
+			if c := prev[j-1] + cost; c < m {
+				m = c
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[len(b)])
+}
+
+func main() {
+	sessions := dataset.Sessions(5, 4000)
+	tree, err := metricdb.NewMTree(editDistance, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sessions {
+		tree.Insert(s)
+	}
+	fmt.Printf("indexed %d WWW sessions in an M-tree of height %d\n\n", tree.Len(), tree.Height())
+
+	// A single range query.
+	q := "/shop/cart/pay"
+	tree.ResetDistCalcs()
+	hits := tree.Range(q, 4)
+	fmt.Printf("sessions within edit distance 4 of %q: %d (using %d of %d possible distance calcs)\n",
+		q, len(hits), tree.DistCalcs(), tree.Len())
+	for i, h := range hits {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(hits)-5)
+			break
+		}
+		fmt.Printf("  %-28s dist %.0f\n", h.Obj, h.Dist)
+	}
+
+	// Nearest neighbors of a session that is not in the database.
+	nn := tree.KNN("/shop/cart/payy/99", 3)
+	fmt.Println("\n3 nearest sessions to \"/shop/cart/payy/99\":")
+	for _, r := range nn {
+		fmt.Printf("  %-28s dist %.0f\n", r.Obj, r.Dist)
+	}
+
+	// A batch of related queries, evaluated in one shared traversal.
+	queries := []string{"/shop/cart", "/shop/cart/pay", "/shop/item/7", "/shop/list"}
+	tree.ResetDistCalcs()
+	var singleCalcs int64
+	for _, q := range queries {
+		_ = tree.Range(q, 4)
+	}
+	singleCalcs = tree.ResetDistCalcs()
+
+	results, stats := tree.BatchRange(queries, 4)
+	fmt.Printf("\nbatched range queries for %d related sessions:\n", len(queries))
+	for i, q := range queries {
+		fmt.Printf("  %-18s %3d answers\n", q, len(results[i]))
+	}
+	fmt.Printf("distance calcs: %d single vs %d batched (+%d matrix), %d avoided by the triangle inequality\n",
+		singleCalcs, stats.DistCalcs, stats.MatrixCalcs, stats.Avoided)
+}

@@ -1,0 +1,3 @@
+module metricdb
+
+go 1.24

@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"testing"
+	"time"
+
+	"metricdb/internal/msq"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+func TestPaperModel(t *testing.T) {
+	m20 := PaperModel(20)
+	if m20.DistCalc != 4300*time.Nanosecond {
+		t.Errorf("20-d DistCalc = %v", m20.DistCalc)
+	}
+	m64 := PaperModel(64)
+	if m64.DistCalc != 12700*time.Nanosecond {
+		t.Errorf("64-d DistCalc = %v", m64.DistCalc)
+	}
+	for _, m := range []Model{m20, m64} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("paper model invalid: %v", err)
+		}
+		// The paper's dist/compare ratios: 52x at 20-d, 155x at 64-d.
+		ratio := float64(m.DistCalc) / float64(m.Compare)
+		if ratio < 40 {
+			t.Errorf("dist/compare ratio %v too small", ratio)
+		}
+	}
+	if (Model{}).Validate() == nil {
+		t.Error("zero model validated")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	m := Measure(vec.Euclidean{}, 20)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("measured model invalid: %v", err)
+	}
+	// A 20-d Euclidean distance must cost more than one float compare.
+	if m.DistCalc < m.Compare {
+		t.Errorf("DistCalc %v < Compare %v", m.DistCalc, m.Compare)
+	}
+}
+
+func TestMeasuredRatioGrowsWithDimension(t *testing.T) {
+	d20 := MeasureDistance(vec.Euclidean{}, 20)
+	d64 := MeasureDistance(vec.Euclidean{}, 64)
+	if d64 <= d20 {
+		t.Errorf("64-d distance (%v) not slower than 20-d (%v)", d64, d20)
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	a := Breakdown{IO: 10 * time.Millisecond, CPU: 2 * time.Millisecond}
+	b := Breakdown{IO: 5 * time.Millisecond, CPU: 1 * time.Millisecond}
+	sum := a.Add(b)
+	if sum.IO != 15*time.Millisecond || sum.CPU != 3*time.Millisecond {
+		t.Errorf("Add = %+v", sum)
+	}
+	if sum.Total() != 18*time.Millisecond {
+		t.Errorf("Total = %v", sum.Total())
+	}
+	if got := sum.Div(3); got.IO != 5*time.Millisecond || got.CPU != time.Millisecond {
+		t.Errorf("Div = %+v", got)
+	}
+	if got := sum.Div(0); got != (Breakdown{}) {
+		t.Errorf("Div(0) = %+v", got)
+	}
+}
+
+func TestOfPricesWork(t *testing.T) {
+	m := Model{
+		SeqPageRead:  1 * time.Millisecond,
+		RandPageRead: 10 * time.Millisecond,
+		DistCalc:     1 * time.Microsecond,
+		Compare:      100 * time.Nanosecond,
+	}
+	st := msq.Stats{DistCalcs: 1000, MatrixDistCalcs: 10, AvoidTries: 500}
+	io := store.IOStats{Reads: 7, SeqReads: 5, RandReads: 2}
+	b := m.Of(st, io)
+	wantIO := 5*time.Millisecond + 20*time.Millisecond
+	if b.IO != wantIO {
+		t.Errorf("IO = %v, want %v", b.IO, wantIO)
+	}
+	wantCPU := 1010*time.Microsecond + 50*time.Microsecond
+	if b.CPU != wantCPU {
+		t.Errorf("CPU = %v, want %v", b.CPU, wantCPU)
+	}
+	if got := m.OfPagesOnly(3); got != 30*time.Millisecond {
+		t.Errorf("OfPagesOnly = %v", got)
+	}
+}

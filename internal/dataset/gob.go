@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"metricdb/internal/store"
+)
+
+// fileHeader guards against loading unrelated gob streams.
+type fileHeader struct {
+	Magic   string
+	Version int
+	Count   int
+	Dim     int
+}
+
+const (
+	fileMagic   = "metricdb-dataset"
+	fileVersion = 1
+)
+
+// WriteFile stores items in a gob-encoded file, so generated datasets can be
+// reused across benchmark runs (cmd/msqgen).
+func WriteFile(path string, items []store.Item) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := gob.NewEncoder(w)
+	dim := 0
+	if len(items) > 0 {
+		dim = items[0].Vec.Dim()
+	}
+	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: fileVersion, Count: len(items), Dim: dim}); err != nil {
+		return fmt.Errorf("dataset: encode header: %w", err)
+	}
+	for i := range items {
+		if err := enc.Encode(items[i]); err != nil {
+			return fmt.Errorf("dataset: encode item %d: %w", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadFile loads a dataset written by WriteFile.
+func ReadFile(path string) ([]store.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(bufio.NewReader(f))
+	var h fileHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("dataset: decode header: %w", err)
+	}
+	if h.Magic != fileMagic {
+		return nil, fmt.Errorf("dataset: %s is not a metricdb dataset file", path)
+	}
+	if h.Version != fileVersion {
+		return nil, fmt.Errorf("dataset: unsupported file version %d", h.Version)
+	}
+	items := make([]store.Item, h.Count)
+	for i := range items {
+		if err := dec.Decode(&items[i]); err != nil {
+			return nil, fmt.Errorf("dataset: decode item %d: %w", i, err)
+		}
+		if items[i].Vec.Dim() != h.Dim {
+			return nil, fmt.Errorf("dataset: item %d has dimension %d, header says %d", i, items[i].Vec.Dim(), h.Dim)
+		}
+	}
+	return items, nil
+}

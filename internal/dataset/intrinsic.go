@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// EstimateIntrinsicDimension estimates the data's intrinsic dimensionality
+// with the Levina–Bickel maximum-likelihood estimator over a random sample:
+// for each sampled point, the estimator inverts the average log-ratio of
+// its k-th nearest-neighbor distance to the closer neighbor distances.
+//
+// The intrinsic dimension — not the ambient one — governs how well index
+// structures and the triangle-inequality avoidance work (see DESIGN.md §4),
+// so the estimate drives the engine recommendation.
+func EstimateIntrinsicDimension(items []store.Item, sampleSize, k int, seed int64) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("dataset: intrinsic-dimension estimation needs k >= 2, got %d", k)
+	}
+	if len(items) < k+2 {
+		return 0, fmt.Errorf("dataset: need at least %d items, got %d", k+2, len(items))
+	}
+	if sampleSize < 1 {
+		return 0, fmt.Errorf("dataset: sample size must be positive, got %d", sampleSize)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	// Work on a bounded reference set so estimation stays O(sample²).
+	ref := items
+	const maxRef = 4000
+	if len(ref) > maxRef {
+		perm := rng.Perm(len(items))
+		ref = make([]store.Item, maxRef)
+		for i := range ref {
+			ref[i] = items[perm[i]]
+		}
+	}
+	if sampleSize > len(ref) {
+		sampleSize = len(ref)
+	}
+
+	m := vec.Euclidean{}
+	dists := make([]float64, 0, len(ref))
+	var invSum float64
+	var used int
+	for s := 0; s < sampleSize; s++ {
+		p := ref[rng.Intn(len(ref))]
+		dists = dists[:0]
+		for i := range ref {
+			if ref[i].ID == p.ID {
+				continue
+			}
+			dists = append(dists, m.Distance(p.Vec, ref[i].Vec))
+		}
+		sort.Float64s(dists)
+		if dists[k-1] <= 0 {
+			continue // duplicates up to the k-th neighbor: skip this point
+		}
+		var logSum float64
+		valid := 0
+		for j := 0; j < k-1; j++ {
+			if dists[j] <= 0 {
+				continue
+			}
+			logSum += math.Log(dists[k-1] / dists[j])
+			valid++
+		}
+		if valid == 0 || logSum == 0 {
+			continue
+		}
+		invSum += float64(valid) / logSum
+		used++
+	}
+	if used == 0 {
+		return 0, fmt.Errorf("dataset: intrinsic dimension undefined (all sampled neighborhoods degenerate)")
+	}
+	return invSum / float64(used), nil
+}

@@ -1,0 +1,69 @@
+// Package engine defines the interface between the query processor and the
+// physical data organizations (sequential scan, X-tree, ...).
+//
+// The single- and multiple-similarity-query algorithms of the paper (Figures
+// 1 and 4) are engine-agnostic: they only need, per query object, an ordered
+// list of relevant data pages with lower-bound distances, plus the ability
+// to read pages. An index engine provides tight lower bounds (MINDIST of
+// page MBRs) and can exclude pages; the scan engine reports every page as
+// relevant with lower bound zero, and the shared algorithm degenerates to
+// exactly the paper's linear-scan variant.
+package engine
+
+import (
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// PageRef is a reference to a data page together with a lower bound on the
+// distance from a specific query object to any item stored on the page.
+type PageRef struct {
+	ID store.PageID
+	// MinDist satisfies: for every item o on the page,
+	// dist(q, o) >= MinDist. Zero for the sequential scan.
+	MinDist float64
+}
+
+// Engine is a physical data organization that the query processors operate
+// on. Implementations must be safe for concurrent readers.
+type Engine interface {
+	// Name identifies the engine in reports ("scan", "xtree", ...).
+	Name() string
+
+	// Plan implements determine_relevant_data_pages of Figure 1: it
+	// returns references to every data page that may contain an answer
+	// for a query at q with initial query distance queryDist, in optimal
+	// processing order. Index engines return pages in ascending MinDist
+	// order (the Hjaltason–Samet schedule, proven I/O-optimal for k-NN);
+	// the scan returns all pages in physical order so that reads are
+	// sequential.
+	Plan(q vec.Vector, queryDist float64) []PageRef
+
+	// MinDist returns a lower bound on dist(q, o) for every item o on
+	// page pid. The multi-query processor uses it to decide whether a
+	// page loaded for one query is also relevant for another.
+	MinDist(q vec.Vector, pid store.PageID) float64
+
+	// MaxDist returns an upper bound on dist(q, o) for every item o on
+	// page pid, or +Inf when the engine has no geometric knowledge (the
+	// scan). A page holding at least k items therefore upper-bounds the
+	// k-NN distance of q, which lets the multi-query processor bound a
+	// query before any object distance has been calculated.
+	MaxDist(q vec.Vector, pid store.PageID) float64
+
+	// PageLen returns the number of items on page pid without reading it.
+	PageLen(pid store.PageID) int
+
+	// ReadPage fetches a data page through the engine's pager (buffer
+	// hits cost no I/O).
+	ReadPage(pid store.PageID) (*store.Page, error)
+
+	// NumPages returns the number of data pages.
+	NumPages() int
+
+	// NumItems returns the number of stored items.
+	NumItems() int
+
+	// Pager exposes the underlying pager for I/O statistics.
+	Pager() *store.Pager
+}

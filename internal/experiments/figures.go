@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"metricdb/internal/cost"
+	"metricdb/internal/msq"
+	"metricdb/internal/report"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// Measurement is the per-configuration outcome of a sweep cell: total work
+// of processing M queries in blocks of m.
+type Measurement struct {
+	M       int // block size
+	Total   int // number of queries processed
+	Stats   msq.Stats
+	IO      store.IOStats
+	PerCost cost.Breakdown // total priced cost (not yet divided by Total)
+}
+
+// PagesPerQuery returns the average I/O cost per query in pages.
+func (m Measurement) PagesPerQuery() float64 {
+	return float64(m.Stats.PagesRead) / float64(m.Total)
+}
+
+// DistCalcsPerQuery returns the average CPU cost per query in distance
+// calculations, including the query-distance matrix share.
+func (m Measurement) DistCalcsPerQuery() float64 {
+	return float64(m.Stats.TotalDistCalcs()) / float64(m.Total)
+}
+
+// CostPerQuery returns the average priced total cost per query in seconds.
+func (m Measurement) CostPerQuery() float64 {
+	return m.PerCost.Total().Seconds() / float64(m.Total)
+}
+
+// runBlocks processes the given queries in consecutive blocks of m multiple
+// similarity queries on a fresh engine, mirroring §5's setting of M ≥ m
+// queries evaluated in M/m blocks.
+func runBlocks(mk EngineMaker, queries []msq.Query, m int, model cost.Model) (Measurement, error) {
+	return RunBlocks(mk, queries, m, model, msq.AvoidBoth)
+}
+
+// RunBlocks is runBlocks with an explicit avoidance mode, used by the
+// ablation benchmarks.
+func RunBlocks(mk EngineMaker, queries []msq.Query, m int, model cost.Model, avoid msq.AvoidanceMode) (Measurement, error) {
+	if m < 1 {
+		return Measurement{}, fmt.Errorf("experiments: block size %d", m)
+	}
+	eng, err := mk.Make()
+	if err != nil {
+		return Measurement{}, err
+	}
+	metric := vec.NewCounting(vec.Euclidean{})
+	proc, err := msq.New(eng, metric, msq.Options{Avoidance: avoid})
+	if err != nil {
+		return Measurement{}, err
+	}
+	ioBefore := eng.Pager().Disk().Stats()
+
+	var total msq.Stats
+	for start := 0; start < len(queries); start += m {
+		end := start + m
+		if end > len(queries) {
+			end = len(queries)
+		}
+		session := proc.NewSession()
+		_, st, err := session.MultiQueryAll(queries[start:end])
+		if err != nil {
+			return Measurement{}, err
+		}
+		total = total.Add(st)
+	}
+
+	io := diffIO(eng.Pager().Disk().Stats(), ioBefore)
+	return Measurement{
+		M:       m,
+		Total:   len(queries),
+		Stats:   total,
+		IO:      io,
+		PerCost: model.Of(total, io),
+	}, nil
+}
+
+func diffIO(after, before store.IOStats) store.IOStats {
+	return store.IOStats{
+		Reads:     after.Reads - before.Reads,
+		SeqReads:  after.SeqReads - before.SeqReads,
+		RandReads: after.RandReads - before.RandReads,
+	}
+}
+
+// Sweep runs the full m-sweep for one workload over both engines,
+// producing the raw measurements behind Figures 7–10.
+type Sweep struct {
+	Workload string
+	MValues  []int
+	// Scan and XTree hold one measurement per m value.
+	Scan  []Measurement
+	XTree []Measurement
+}
+
+// RunSweep evaluates M = max(mValues) queries in blocks of each m.
+func RunSweep(w Workload, mValues []int, model cost.Model) (*Sweep, error) {
+	maxM := 0
+	for _, m := range mValues {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	queries, err := w.Queries(w.querySeed(), maxM)
+	if err != nil {
+		return nil, err
+	}
+
+	sw := &Sweep{Workload: w.Name, MValues: mValues}
+	makers := []EngineMaker{ScanMaker(w), XTreeMaker(w)}
+	for _, mk := range makers {
+		for _, m := range mValues {
+			meas, err := runBlocks(mk, queries, m, model)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s m=%d: %w", w.Name, mk.Name, m, err)
+			}
+			if mk.Name == "scan" {
+				sw.Scan = append(sw.Scan, meas)
+			} else {
+				sw.XTree = append(sw.XTree, meas)
+			}
+		}
+	}
+	return sw, nil
+}
+
+func (w Workload) querySeed() int64 { return int64(len(w.Items)) * 31 }
+
+// figure assembles a two-series (scan, xtree) figure from a sweep with the
+// given per-measurement metric.
+func (s *Sweep) figure(title, ylabel string, metric func(Measurement) float64) *report.Figure {
+	f := &report.Figure{
+		Title:  fmt.Sprintf("%s (%s database)", title, s.Workload),
+		XLabel: "m",
+		YLabel: ylabel,
+		XVals:  intsToFloats(s.MValues),
+	}
+	scanY := make([]float64, len(s.Scan))
+	for i, m := range s.Scan {
+		scanY[i] = metric(m)
+	}
+	xtreeY := make([]float64, len(s.XTree))
+	for i, m := range s.XTree {
+		xtreeY[i] = metric(m)
+	}
+	// AddSeries cannot fail here: lengths match MValues by construction.
+	_ = f.AddSeries("scan", scanY)
+	_ = f.AddSeries("xtree", xtreeY)
+	return f
+}
+
+// Fig7 is the average I/O cost per similarity query (pages) vs m.
+func (s *Sweep) Fig7() *report.Figure {
+	return s.figure("Figure 7: avg I/O cost per similarity query", "pages", Measurement.PagesPerQuery)
+}
+
+// Fig8 is the average CPU cost per similarity query (distance
+// calculations) vs m.
+func (s *Sweep) Fig8() *report.Figure {
+	return s.figure("Figure 8: avg CPU cost per similarity query", "distance calcs", Measurement.DistCalcsPerQuery)
+}
+
+// Fig9 is the average total (priced) query cost vs m.
+func (s *Sweep) Fig9() *report.Figure {
+	return s.figure("Figure 9: avg total query cost per similarity query", "seconds", Measurement.CostPerQuery)
+}
+
+// Fig10 is the speed-up of m multiple queries over m single queries.
+func (s *Sweep) Fig10() *report.Figure {
+	base := s.figure("", "", Measurement.CostPerQuery)
+	f := &report.Figure{
+		Title:  fmt.Sprintf("Figure 10: speed-up wrt m (%s database)", s.Workload),
+		XLabel: "m",
+		YLabel: "speed-up vs m=1",
+		XVals:  intsToFloats(s.MValues),
+	}
+	for _, series := range base.Series {
+		y := make([]float64, len(series.Y))
+		for i := range series.Y {
+			if series.Y[i] == 0 {
+				y[i] = math.NaN()
+				continue
+			}
+			y[i] = series.Y[0] / series.Y[i]
+		}
+		_ = f.AddSeries(series.Name, y)
+	}
+	return f
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// MicroFigure reports the distance-calculation vs triangle-comparison cost
+// ratio (§6.2: 52× at 20 dimensions, 155× at 64).
+func MicroFigure(dims []int) *report.Figure {
+	f := &report.Figure{
+		Title:  "Micro: distance calculation vs triangle-inequality comparison",
+		XLabel: "dim",
+		YLabel: "ns and ratio",
+		XVals:  intsToFloats(dims),
+	}
+	dist := make([]float64, len(dims))
+	comp := make([]float64, len(dims))
+	ratio := make([]float64, len(dims))
+	cmp := cost.MeasureCompareNs()
+	for i, d := range dims {
+		dc := cost.MeasureDistanceNs(vec.Euclidean{}, d)
+		dist[i] = dc
+		comp[i] = cmp
+		if cmp > 0 {
+			ratio[i] = dc / cmp
+		}
+	}
+	_ = f.AddSeries("distance ns", dist)
+	_ = f.AddSeries("compare ns", comp)
+	_ = f.AddSeries("ratio", ratio)
+	return f
+}

@@ -1,0 +1,254 @@
+// Package experiments reproduces the evaluation of the paper (§6,
+// Figures 7–12): it generates the two workloads (the astronomy substitute —
+// near-uniform 20-d vectors with independent random k-NN queries — and the
+// image substitute — clustered 64-d histograms with highly dependent
+// queries), runs single and multiple similarity queries over scan and
+// X-tree engines, and renders each figure as a table of series.
+//
+// The harness is shared by cmd/msqbench and the repository's benchmark
+// suite; EXPERIMENTS.md records paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/engine"
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+	"metricdb/internal/scan"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+	"metricdb/internal/xtree"
+)
+
+// Scale sizes the experiments. The paper uses 1,000,000 20-d and 112,000
+// 64-d objects; the default scales keep the distributions and query
+// parameters while shrinking the object counts so a full run finishes in
+// seconds (Small) or minutes (Medium). Paper replicates the original
+// sizes.
+type Scale struct {
+	Name     string
+	AstroN   int // uniform 20-d objects (Tycho substitute)
+	AstroDim int
+	AstroK   int // k for astronomy k-NN queries (paper: 10)
+	ImageN   int // clustered 64-d objects (image-DB substitute)
+	ImageDim int
+	ImageK   int // k for image k-NN queries (paper: 20)
+	// MValues are the multi-query sizes of Figures 7–10 (paper:
+	// 1, 10, 20, 40, 50, 100).
+	MValues []int
+	// ServerCounts are the cluster sizes of Figures 11–12 (paper:
+	// 1, 4, 8, 16).
+	ServerCounts []int
+	// BaseM is the per-server block size scaled by s in the parallel
+	// experiments (paper: 100).
+	BaseM int
+	Seed  int64
+}
+
+// SmallScale finishes a full figure sweep in a few seconds; used by tests
+// and the default benchmarks.
+func SmallScale() Scale {
+	return Scale{
+		Name:     "small",
+		AstroN:   20000,
+		AstroDim: 20,
+		AstroK:   10,
+		ImageN:   20000,
+		ImageDim: 64,
+		ImageK:   20,
+		MValues:  []int{1, 10, 20, 40, 50, 100},
+		// 16 servers over the small image set would leave < 400
+		// objects per server; keep the paper's counts anyway — the
+		// degradation at s=16 is part of the reproduced result.
+		ServerCounts: []int{1, 4, 8, 16},
+		BaseM:        100,
+		Seed:         1,
+	}
+}
+
+// MediumScale is a minutes-long run closer to the paper's proportions.
+func MediumScale() Scale {
+	s := SmallScale()
+	s.Name = "medium"
+	s.AstroN = 200000
+	s.ImageN = 30000
+	return s
+}
+
+// PaperScale replicates the original dataset sizes (1,000,000 and
+// 112,000); expect a long run.
+func PaperScale() Scale {
+	s := SmallScale()
+	s.Name = "paper"
+	s.AstroN = 1000000
+	s.ImageN = 112000
+	return s
+}
+
+// ScaleByName resolves "small", "medium" or "paper".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small", "":
+		return SmallScale(), nil
+	case "medium":
+		return MediumScale(), nil
+	case "paper":
+		return PaperScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (want small, medium or paper)", name)
+	}
+}
+
+// Workload is one dataset plus its query generator.
+type Workload struct {
+	Name  string
+	Items []store.Item
+	Dim   int
+	K     int
+	// Queries returns m query objects; for the astronomy workload these
+	// are independent random database objects, for the image workload
+	// they are dependent (spatially adjacent) objects, mimicking the
+	// queries an exploration session generates.
+	Queries func(seed int64, m int) ([]msq.Query, error)
+}
+
+// Astronomy builds the Tycho-substitute workload: cluster-free 20-d
+// vectors with a realistic lower intrinsic dimensionality (real measured
+// star features are correlated) and independent random k-NN query objects.
+func Astronomy(sc Scale) Workload {
+	items, err := dataset.NearUniform(sc.Seed, sc.AstroN, sc.AstroDim, 8, 0.01)
+	if err != nil {
+		// The parameters are compile-time constants; failure is a bug.
+		panic(err)
+	}
+	w := Workload{Name: "astronomy", Items: items, Dim: sc.AstroDim, K: sc.AstroK}
+	w.Queries = func(seed int64, m int) ([]msq.Query, error) {
+		picks, err := dataset.SampleQueries(seed, items, m)
+		if err != nil {
+			return nil, err
+		}
+		return toQueries(picks, sc.AstroK), nil
+	}
+	return w
+}
+
+// Image builds the image-database substitute: highly clustered 64-d
+// histogram-like vectors; query objects are the nearest neighbors of a
+// random seed object, reproducing the strong inter-query dependence of the
+// manual-exploration workload.
+func Image(sc Scale) (Workload, error) {
+	items, err := dataset.Clustered(dataset.ClusteredConfig{
+		Seed:      sc.Seed + 1,
+		N:         sc.ImageN,
+		Dim:       sc.ImageDim,
+		Clusters:  8,
+		Spread:    0.12,
+		Histogram: true,
+	})
+	if err != nil {
+		return Workload{}, err
+	}
+	w := Workload{Name: "image", Items: items, Dim: sc.ImageDim, K: sc.ImageK}
+	w.Queries = func(seed int64, m int) ([]msq.Query, error) {
+		return dependentQueries(items, seed, m, sc.ImageK)
+	}
+	return w, nil
+}
+
+// toQueries wraps items as k-NN queries.
+func toQueries(items []store.Item, k int) []msq.Query {
+	out := make([]msq.Query, len(items))
+	for i, it := range items {
+		out[i] = msq.Query{ID: uint64(it.ID), Vec: it.Vec, Type: query.NewKNN(k)}
+	}
+	return out
+}
+
+// dependentQueries reproduces the manual-exploration query stream of §6:
+// each hypothetical user contributes the k-nearest neighborhood of a random
+// start object (one user per k queries, so m = c·k like the paper's
+// c concurrent users), computed on a throwaway engine whose cost is not
+// measured. The result is m queries forming ceil(m/k) tight spatial groups.
+func dependentQueries(items []store.Item, seed int64, m, k int) ([]msq.Query, error) {
+	if m > len(items) {
+		return nil, fmt.Errorf("experiments: %d dependent queries from %d items", m, len(items))
+	}
+	eng, err := scan.New(items, 4096, 0)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := msq.New(eng, vec.Euclidean{}, msq.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[store.ItemID]bool, m)
+	out := make([]msq.Query, 0, m)
+	for user := 0; len(out) < m && user < 4*m; user++ {
+		picks, err := dataset.SampleQueries(seed+int64(user), items, 1)
+		if err != nil {
+			return nil, err
+		}
+		answers, _, err := proc.Single(picks[0].Vec, query.NewKNN(k))
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers.Answers() {
+			if len(out) == m {
+				break
+			}
+			if seen[a.ID] {
+				continue
+			}
+			seen[a.ID] = true
+			it := items[a.ID]
+			out = append(out, msq.Query{ID: uint64(it.ID), Vec: it.Vec, Type: query.NewKNN(k)})
+		}
+	}
+	if len(out) < m {
+		return nil, fmt.Errorf("experiments: could only derive %d of %d dependent queries", len(out), m)
+	}
+	return out, nil
+}
+
+// EngineMaker builds a fresh (cold) engine over a workload.
+type EngineMaker struct {
+	Name string
+	Make func() (engine.Engine, error)
+}
+
+// ScanMaker returns the sequential-scan engine factory for w, with the
+// paper's 32 KB pages and 10 % buffer.
+func ScanMaker(w Workload) EngineMaker {
+	capacity := store.PageCapacityForBlockSize(32768, w.Dim)
+	pages := (len(w.Items) + capacity - 1) / capacity
+	return EngineMaker{
+		Name: "scan",
+		Make: func() (engine.Engine, error) {
+			return scan.New(w.Items, capacity, store.DefaultBufferPages(pages))
+		},
+	}
+}
+
+// XTreeMaker returns the X-tree engine factory for w. Building the tree is
+// expensive, so the factory constructs it once and then returns the same
+// tree with reset counters.
+func XTreeMaker(w Workload) EngineMaker {
+	var tree *xtree.Tree
+	return EngineMaker{
+		Name: "xtree",
+		Make: func() (engine.Engine, error) {
+			if tree == nil {
+				t, err := xtree.Bulk(w.Items, w.Dim, xtree.DefaultConfig(w.Dim))
+				if err != nil {
+					return nil, err
+				}
+				tree = t
+			}
+			tree.Pager().ResetStats()
+			return tree, nil
+		},
+	}
+}

@@ -1,0 +1,119 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+)
+
+// Rule is a spatial association rule "objects of type From are close to
+// objects of type To" (§3.2, after Koperski & Han), discovered from
+// neighborhood relations. Types are the items' Label values.
+type Rule struct {
+	From, To int
+	// Support is the fraction of type-From objects that have at least
+	// one type-To neighbor within the query radius.
+	Support float64
+	// Confidence is the fraction of all neighbors of type-From objects
+	// that are of type To.
+	Confidence float64
+	// Count is the number of supporting type-From objects.
+	Count int
+}
+
+// SpatialAssociationRules discovers rules From → To for the given From
+// type: the start objects are all database objects of that type (as in the
+// paper's instance), their eps-neighborhoods are retrieved as multiple
+// similarity queries in blocks of cfg.BatchSize, and rules meeting both
+// thresholds are returned sorted by support. cfg.SimType is ignored.
+func SpatialAssociationRules(cfg Config, fromType int, eps, minSupport, minConfidence float64) ([]Rule, Stats, error) {
+	cfg.SimType = query.NewRange(eps)
+	var stats Stats
+	if err := cfg.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if minSupport < 0 || minSupport > 1 || minConfidence < 0 || minConfidence > 1 {
+		return nil, stats, fmt.Errorf("explore: thresholds must be in [0,1]")
+	}
+
+	var starts []msq.Query
+	for i := range cfg.Items {
+		if cfg.Items[i].Label == fromType {
+			starts = append(starts, msq.Query{
+				ID:   uint64(cfg.Items[i].ID),
+				Vec:  cfg.Items[i].Vec,
+				Type: cfg.SimType,
+			})
+		}
+	}
+	if len(starts) == 0 {
+		return nil, stats, fmt.Errorf("explore: no objects of type %d", fromType)
+	}
+
+	// proc_2 of this instance: per start object, which neighbor types
+	// occur; plus global neighbor-type counts for confidence.
+	supporting := make(map[int]int) // toType -> #start objects with such a neighbor
+	neighborCount := make(map[int]int)
+	totalNeighbors := 0
+
+	m := cfg.BatchSize
+	if m < 1 {
+		m = 1
+	}
+	for blockStart := 0; blockStart < len(starts); blockStart += m {
+		end := blockStart + m
+		if end > len(starts) {
+			end = len(starts)
+		}
+		session := cfg.Proc.NewSession()
+		results, qs, err := session.MultiQueryAll(starts[blockStart:end])
+		stats.Query = stats.Query.Add(qs)
+		stats.Steps += end - blockStart
+		if err != nil {
+			return nil, stats, err
+		}
+		for bi, r := range results {
+			selfID := starts[blockStart+bi].ID
+			typesSeen := make(map[int]bool)
+			for _, a := range r.Answers() {
+				if uint64(a.ID) == selfID {
+					continue // the object is trivially its own neighbor
+				}
+				label := cfg.Items[a.ID].Label
+				typesSeen[label] = true
+				neighborCount[label]++
+				totalNeighbors++
+			}
+			for label := range typesSeen {
+				supporting[label]++
+			}
+		}
+	}
+
+	var rules []Rule
+	for toType, count := range supporting {
+		support := float64(count) / float64(len(starts))
+		confidence := 0.0
+		if totalNeighbors > 0 {
+			confidence = float64(neighborCount[toType]) / float64(totalNeighbors)
+		}
+		if support >= minSupport && confidence >= minConfidence {
+			rules = append(rules, Rule{
+				From:       fromType,
+				To:         toType,
+				Support:    support,
+				Confidence: confidence,
+				Count:      count,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].To < rules[j].To
+	})
+	return rules, stats, nil
+}

@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+	"metricdb/internal/vec"
+)
+
+// ClassifyKNN performs simultaneous classification of a set of new objects
+// (§3.2, the astronomy use case): a k-NN query is issued for every object
+// and the majority label among its neighbors is returned. The queries are
+// processed in blocks of cfg.BatchSize multiple similarity queries, exactly
+// the paper's evaluation setup for the Tycho data. Ties are broken toward
+// the smallest label for determinism. cfg.SimType is ignored.
+func ClassifyKNN(cfg Config, objects []vec.Vector, k int) ([]int, Stats, error) {
+	cfg.SimType = query.NewKNN(k)
+	var stats Stats
+	if err := cfg.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if k < 1 {
+		return nil, stats, fmt.Errorf("explore: k must be >= 1, got %d", k)
+	}
+
+	labels := make([]int, len(objects))
+	m := cfg.BatchSize
+	if m < 1 {
+		m = 1
+	}
+	for blockStart := 0; blockStart < len(objects); blockStart += m {
+		end := blockStart + m
+		if end > len(objects) {
+			end = len(objects)
+		}
+		batch := make([]msq.Query, 0, end-blockStart)
+		for i := blockStart; i < end; i++ {
+			batch = append(batch, msq.Query{ID: uint64(i), Vec: objects[i], Type: cfg.SimType})
+		}
+		session := cfg.Proc.NewSession()
+		results, qs, err := session.MultiQueryAll(batch)
+		stats.Query = stats.Query.Add(qs)
+		stats.Steps += len(batch)
+		if err != nil {
+			return nil, stats, err
+		}
+		for bi, r := range results {
+			labels[blockStart+bi] = majorityLabel(cfg, r.Answers())
+		}
+	}
+	return labels, stats, nil
+}
+
+// majorityLabel returns the most frequent label among the answers, ties
+// broken toward the smallest label; Noise (-1) neighbors are counted like
+// any other label.
+func majorityLabel(cfg Config, answers []query.Answer) int {
+	counts := make(map[int]int)
+	for _, a := range answers {
+		counts[cfg.Items[a.ID].Label]++
+	}
+	labels := make([]int, 0, len(counts))
+	for l := range counts {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	best, bestCount := Noise, -1
+	for _, l := range labels {
+		if counts[l] > bestCount {
+			best, bestCount = l, counts[l]
+		}
+	}
+	return best
+}

@@ -1,0 +1,133 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+	"metricdb/internal/store"
+)
+
+// ExplorationConfig parameterizes the manual-data-exploration simulation of
+// §6: c concurrent hypothetical users navigate the database by repeatedly
+// choosing one of their k current answers; the system prefetches the
+// k-nearest neighbors of *all* current answers, producing m = c·k highly
+// dependent queries per round.
+type ExplorationConfig struct {
+	Users  int
+	K      int
+	Rounds int
+	Seed   int64
+}
+
+// Validate checks the simulation parameters.
+func (e ExplorationConfig) Validate() error {
+	if e.Users < 1 {
+		return fmt.Errorf("explore: need at least one user, got %d", e.Users)
+	}
+	if e.K < 1 {
+		return fmt.Errorf("explore: k must be >= 1, got %d", e.K)
+	}
+	if e.Rounds < 1 {
+		return fmt.Errorf("explore: need at least one round, got %d", e.Rounds)
+	}
+	return nil
+}
+
+// SimulateExploration runs the manual-exploration workload and returns the
+// aggregated query cost. Each round issues one block of m = Users·K
+// k-nearest-neighbor queries through a shared session, so that pages and
+// buffered answers are reused across users and rounds — the "highly
+// dependent queries" workload of the image-database experiments.
+// cfg.SimType is ignored.
+func SimulateExploration(cfg Config, ec ExplorationConfig) (Stats, error) {
+	cfg.SimType = query.NewKNN(ec.K)
+	var stats Stats
+	if err := cfg.Validate(); err != nil {
+		return stats, err
+	}
+	if err := ec.Validate(); err != nil {
+		return stats, err
+	}
+	if len(cfg.Items) == 0 {
+		return stats, fmt.Errorf("explore: empty database")
+	}
+
+	rng := rand.New(rand.NewSource(ec.Seed))
+	session := cfg.Proc.NewSession()
+
+	// Each user's current answer set; initially the k-NN of a random
+	// start object.
+	current := make([][]store.ItemID, ec.Users)
+	startBatch := make([]msq.Query, ec.Users)
+	for u := 0; u < ec.Users; u++ {
+		it := cfg.Items[rng.Intn(len(cfg.Items))]
+		startBatch[u] = msq.Query{ID: uint64(it.ID), Vec: it.Vec, Type: cfg.SimType}
+	}
+	startBatch = dedupeQueries(startBatch)
+	results, qs, err := session.MultiQueryAll(startBatch)
+	stats.Query = stats.Query.Add(qs)
+	stats.Steps += len(startBatch)
+	if err != nil {
+		return stats, err
+	}
+	answersByID := make(map[uint64][]store.ItemID, len(startBatch))
+	for i, r := range results {
+		answersByID[startBatch[i].ID] = r.IDs()
+	}
+	for u := 0; u < ec.Users; u++ {
+		current[u] = answersByID[startBatch[u].ID]
+	}
+
+	for round := 0; round < ec.Rounds; round++ {
+		// Prefetch the k-NN of every current answer of every user:
+		// one block of (up to) c·k queries.
+		var batch []msq.Query
+		for u := 0; u < ec.Users; u++ {
+			for _, id := range current[u] {
+				it := cfg.Items[id]
+				batch = append(batch, msq.Query{ID: uint64(it.ID), Vec: it.Vec, Type: cfg.SimType})
+			}
+		}
+		batch = dedupeQueries(batch)
+		if len(batch) == 0 {
+			break
+		}
+		results, qs, err := session.MultiQueryAll(batch)
+		stats.Query = stats.Query.Add(qs)
+		stats.Steps += len(batch)
+		if err != nil {
+			return stats, err
+		}
+		byID := make(map[uint64][]store.ItemID, len(batch))
+		for i, r := range results {
+			byID[batch[i].ID] = r.IDs()
+		}
+		// Each user chooses one of their answers; its (already fetched)
+		// neighbors become the user's next answer set.
+		for u := 0; u < ec.Users; u++ {
+			if len(current[u]) == 0 {
+				continue
+			}
+			chosen := current[u][rng.Intn(len(current[u]))]
+			current[u] = byID[uint64(chosen)]
+		}
+	}
+	return stats, nil
+}
+
+// dedupeQueries removes duplicate query IDs, keeping first occurrences:
+// several users may land on the same objects.
+func dedupeQueries(batch []msq.Query) []msq.Query {
+	seen := make(map[uint64]bool, len(batch))
+	out := batch[:0]
+	for _, q := range batch {
+		if seen[q.ID] {
+			continue
+		}
+		seen[q.ID] = true
+		out = append(out, q)
+	}
+	return out
+}

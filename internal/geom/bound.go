@@ -1,0 +1,64 @@
+package geom
+
+import (
+	"math"
+
+	"metricdb/internal/vec"
+)
+
+// LowerBound computes a lower bound on the m-distance from q to any point
+// inside r, generalizing Euclidean MINDIST to arbitrary metrics:
+//
+//   - For coordinatewise metrics (all Lp variants, weighted Euclidean) it
+//     applies the metric to the per-coordinate gap vector, which is exact
+//     MINDIST for those metrics.
+//   - For any other metric it returns 0, which is always safe: the index
+//     simply loses selectivity, converging to scan behaviour — precisely the
+//     degradation mode §4 of the paper describes for indexes without
+//     selectivity.
+//
+// Counting wrappers are stripped first so that geometric bound evaluations
+// are not charged as object distance calculations.
+func LowerBound(m vec.Metric, r Rect, q vec.Vector) float64 {
+	base := vec.BaseMetric(m)
+	cw, ok := base.(vec.Coordinatewise)
+	if !ok || !cw.CoordinatewiseMetric() {
+		return 0
+	}
+	gap := make(vec.Vector, len(q))
+	zero := make(vec.Vector, len(q))
+	for i := range q {
+		switch {
+		case q[i] < r.Min[i]:
+			gap[i] = r.Min[i] - q[i]
+		case q[i] > r.Max[i]:
+			gap[i] = q[i] - r.Max[i]
+		}
+	}
+	return base.Distance(gap, zero)
+}
+
+// UpperBound computes an upper bound on the m-distance from q to any point
+// inside r (generalized MAXDIST): the metric applied to the per-coordinate
+// farthest-edge gaps for coordinatewise metrics, +Inf otherwise. The
+// multi-query processor uses it to bound a k-NN query's result distance
+// before any object distance has been calculated.
+func UpperBound(m vec.Metric, r Rect, q vec.Vector) float64 {
+	base := vec.BaseMetric(m)
+	cw, ok := base.(vec.Coordinatewise)
+	if !ok || !cw.CoordinatewiseMetric() {
+		return math.Inf(1)
+	}
+	gap := make(vec.Vector, len(q))
+	zero := make(vec.Vector, len(q))
+	for i := range q {
+		lo := math.Abs(q[i] - r.Min[i])
+		hi := math.Abs(q[i] - r.Max[i])
+		if lo > hi {
+			gap[i] = lo
+		} else {
+			gap[i] = hi
+		}
+	}
+	return base.Distance(gap, zero)
+}

@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metricdb/internal/vec"
+)
+
+func TestLowerBoundMatchesMinDistForEuclidean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRect(rng, 4)
+		q := randVec(rng, 4)
+		return math.Abs(LowerBound(vec.Euclidean{}, r, q)-r.MinDist(q)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpperBoundMatchesMaxDistForEuclidean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRect(rng, 4)
+		q := randVec(rng, 4)
+		return math.Abs(UpperBound(vec.Euclidean{}, r, q)-r.MaxDist(q)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundsSandwichDistances: for any point p inside r and any metric in
+// the coordinatewise family, LowerBound <= dist(q, p) <= UpperBound.
+func TestBoundsSandwichDistances(t *testing.T) {
+	metrics := []vec.Metric{vec.Euclidean{}, vec.Manhattan{}, vec.Chebyshev{}}
+	mk, err := vec.NewMinkowski(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics = append(metrics, mk)
+	we, err := vec.NewWeightedEuclidean(vec.Vector{2, 0.5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics = append(metrics, we)
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRect(rng, 4)
+		q := randVec(rng, 4)
+		// A random point inside r.
+		p := make(vec.Vector, 4)
+		for i := range p {
+			p[i] = r.Min[i] + rng.Float64()*(r.Max[i]-r.Min[i])
+		}
+		const eps = 1e-9
+		for _, m := range metrics {
+			d := m.Distance(q, p)
+			if LowerBound(m, r, q) > d+eps {
+				return false
+			}
+			if d > UpperBound(m, r, q)+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsForNonCoordinatewiseMetric(t *testing.T) {
+	hm, err := vec.HistogramSimilarityMatrix(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf, err := vec.NewQuadraticForm(3, hm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := PointRect(vec.Vector{1, 1, 1})
+	q := vec.Vector{0, 0, 0}
+	if got := LowerBound(qf, r, q); got != 0 {
+		t.Errorf("LowerBound = %v, want 0 for non-coordinatewise metric", got)
+	}
+	if got := UpperBound(qf, r, q); !math.IsInf(got, 1) {
+		t.Errorf("UpperBound = %v, want +Inf", got)
+	}
+}
+
+func TestBoundsUnwrapCountingMetric(t *testing.T) {
+	c := vec.NewCounting(vec.Euclidean{})
+	r, err := NewRect(vec.Vector{0, 0}, vec.Vector{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = LowerBound(c, r, vec.Vector{2, 0})
+	_ = UpperBound(c, r, vec.Vector{2, 0})
+	if got := c.Count(); got != 0 {
+		t.Errorf("bound evaluation charged %d distance calculations", got)
+	}
+}
+
+// TestAreaWithPointMatchesUnion cross-checks the allocation-free fast path
+// against the materialized union.
+func TestAreaWithPointMatchesUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRect(rng, 3)
+		p := randVec(rng, 3)
+		want := r.Union(PointRect(p)).Area()
+		return math.Abs(r.AreaWithPoint(p)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverlapWithPointMatchesUnion does the same for the grown-overlap
+// fast path.
+func TestOverlapWithPointMatchesUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRect(rng, 3)
+		o := randRect(rng, 3)
+		p := randVec(rng, 3)
+		want := r.Union(PointRect(p)).Overlap(o)
+		return math.Abs(r.OverlapWithPoint(p, o)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,826 @@
+package msq
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"metricdb/internal/engine"
+	"metricdb/internal/query"
+	"metricdb/internal/scan"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+	"metricdb/internal/xtree"
+)
+
+// testDB builds a deterministic uniform dataset.
+func testDB(seed int64, n, dim int) []store.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]store.Item, n)
+	for i := range items {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		items[i] = store.Item{ID: store.ItemID(i), Vec: v}
+	}
+	return items
+}
+
+func scanEngine(t *testing.T, items []store.Item) engine.Engine {
+	t.Helper()
+	e, err := scan.New(items, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func xtreeEngine(t *testing.T, items []store.Item, dim int) engine.Engine {
+	t.Helper()
+	tr, err := xtree.Bulk(items, dim, xtree.Config{LeafCapacity: 16, DirFanout: 8, BufferPages: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// brute computes the exact answer set with (dist, id) ordering.
+func brute(items []store.Item, m vec.Metric, q vec.Vector, t query.Type) []query.Answer {
+	l := query.NewAnswerList(t)
+	for _, it := range items {
+		l.Consider(it.ID, m.Distance(q, it.Vec))
+	}
+	return append([]query.Answer(nil), l.Answers()...)
+}
+
+func sameAnswers(a, b []query.Answer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	items := testDB(1, 50, 3)
+	e := scanEngine(t, items)
+	if _, err := New(nil, vec.Euclidean{}, Options{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(e, nil, Options{}); err == nil {
+		t.Error("nil metric accepted")
+	}
+	c := vec.NewCounting(vec.Euclidean{})
+	p, err := New(e, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metric() != c {
+		t.Error("existing counting wrapper not reused")
+	}
+	if p.Engine() != e {
+		t.Error("Engine() accessor wrong")
+	}
+	if p.Options() != (Options{}) {
+		t.Error("Options() accessor wrong")
+	}
+}
+
+func TestAvoidanceModeString(t *testing.T) {
+	for mode, want := range map[AvoidanceMode]string{
+		AvoidBoth: "both", AvoidOff: "off", AvoidLemma1: "lemma1", AvoidLemma2: "lemma2",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if AvoidanceMode(99).String() == "" {
+		t.Error("unknown mode has no diagnostic string")
+	}
+}
+
+func TestSingleMatchesBruteForce(t *testing.T) {
+	const dim = 5
+	items := testDB(2, 400, dim)
+	m := vec.Euclidean{}
+	rng := rand.New(rand.NewSource(3))
+
+	engines := map[string]engine.Engine{
+		"scan":  scanEngine(t, items),
+		"xtree": xtreeEngine(t, items, dim),
+	}
+	types := []query.Type{
+		query.NewKNN(10),
+		query.NewRange(0.4),
+		query.NewBoundedKNN(5, 0.5),
+	}
+	for name, e := range engines {
+		p, err := New(e, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, typ := range types {
+			for trial := 0; trial < 10; trial++ {
+				q := testDB(rng.Int63(), 1, dim)[0].Vec
+				got, _, err := p.Single(q, typ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := brute(items, m, q, typ)
+				if !sameAnswers(got.Answers(), want) {
+					t.Fatalf("%s %v trial %d: answers differ\n got %v\nwant %v",
+						name, typ, trial, got.Answers(), want)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleValidation(t *testing.T) {
+	p, err := New(scanEngine(t, testDB(4, 30, 2)), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Single(vec.Vector{0, 0}, query.NewKNN(0)); err == nil {
+		t.Error("invalid type accepted")
+	}
+	if _, _, err := p.Single(nil, query.NewKNN(1)); err == nil {
+		t.Error("empty query vector accepted")
+	}
+}
+
+func TestSingleStats(t *testing.T) {
+	items := testDB(5, 100, 3)
+	p, err := New(scanEngine(t, items), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := p.Single(vec.Vector{0.5, 0.5, 0.5}, query.NewKNN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 1 {
+		t.Errorf("Queries = %d", st.Queries)
+	}
+	if st.DistCalcs != 100 {
+		t.Errorf("scan DistCalcs = %d, want 100 (one per item)", st.DistCalcs)
+	}
+	wantPages := int64((100 + 15) / 16)
+	if st.PagesRead != wantPages || st.PageVisits != wantPages {
+		t.Errorf("PagesRead=%d PageVisits=%d, want %d", st.PagesRead, st.PageVisits, wantPages)
+	}
+}
+
+func TestXTreeSingleReadsFewerPagesThanScan(t *testing.T) {
+	const dim = 3 // low dimension: the index should be selective
+	items := testDB(6, 2000, dim)
+	ps, err := New(scanEngine(t, items), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := New(xtreeEngine(t, items, dim), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.Vector{0.5, 0.5, 0.5}
+	_, ss, err := ps.Single(q, query.NewKNN(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sx, err := px.Single(q, query.NewKNN(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.PagesRead >= ss.PagesRead {
+		t.Errorf("xtree read %d pages, scan %d — index has no selectivity in 3-d", sx.PagesRead, ss.PagesRead)
+	}
+	if sx.DistCalcs >= ss.DistCalcs {
+		t.Errorf("xtree computed %d distances, scan %d", sx.DistCalcs, ss.DistCalcs)
+	}
+}
+
+// TestMultiMatchesSingle is the central correctness test: for every engine,
+// avoidance mode, and query type mix, a completed multiple similarity query
+// returns exactly the same answers as independent single queries.
+func TestMultiMatchesSingle(t *testing.T) {
+	const dim = 4
+	items := testDB(7, 600, dim)
+	m := vec.Euclidean{}
+	rng := rand.New(rand.NewSource(8))
+
+	queries := make([]Query, 12)
+	for i := range queries {
+		var typ query.Type
+		switch i % 3 {
+		case 0:
+			typ = query.NewKNN(7)
+		case 1:
+			typ = query.NewRange(0.45)
+		default:
+			typ = query.NewBoundedKNN(4, 0.6)
+		}
+		queries[i] = Query{ID: uint64(i), Vec: testDB(rng.Int63(), 1, dim)[0].Vec, Type: typ}
+	}
+
+	engines := map[string]func() engine.Engine{
+		"scan":  func() engine.Engine { return scanEngine(t, items) },
+		"xtree": func() engine.Engine { return xtreeEngine(t, items, dim) },
+	}
+	modes := []AvoidanceMode{AvoidBoth, AvoidOff, AvoidLemma1, AvoidLemma2}
+
+	for name, mk := range engines {
+		for _, mode := range modes {
+			p, err := New(mk(), m, Options{Avoidance: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, _, err := p.MultiQuery(queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range queries {
+				want := brute(items, m, q.Vec, q.Type)
+				if !sameAnswers(results[i].Answers(), want) {
+					t.Fatalf("%s/%v: query %d differs from brute force", name, mode, i)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalFirstQueryComplete checks Definition 4: after one call,
+// the first query is complete and the others are subsets of their full
+// answers.
+func TestIncrementalFirstQueryComplete(t *testing.T) {
+	const dim = 4
+	items := testDB(9, 500, dim)
+	m := vec.Euclidean{}
+	e := xtreeEngine(t, items, dim)
+	p, err := New(e, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(10))
+	queries := make([]Query, 8)
+	for i := range queries {
+		queries[i] = Query{ID: uint64(i), Vec: testDB(rng.Int63(), 1, dim)[0].Vec, Type: query.NewKNN(5)}
+	}
+
+	s := p.NewSession()
+	results, _, err := s.MultiQuery(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First query: complete.
+	if want := brute(items, m, queries[0].Vec, queries[0].Type); !sameAnswers(results[0].Answers(), want) {
+		t.Fatal("first query incomplete after one call")
+	}
+	// Others: subset check — every partial answer is a true answer.
+	for i := 1; i < len(queries); i++ {
+		full := brute(items, m, queries[i].Vec, query.NewRange(math.Inf(1)))
+		fullDist := make(map[store.ItemID]float64, len(full))
+		for _, a := range full {
+			fullDist[a.ID] = a.Dist
+		}
+		for _, a := range results[i].Answers() {
+			want, ok := fullDist[a.ID]
+			if !ok || math.Abs(a.Dist-want) > 1e-12 {
+				t.Fatalf("query %d: partial answer %v has wrong distance", i, a)
+			}
+		}
+	}
+}
+
+// TestSessionBufferingSavesIO checks §5.1: in subsequent calls, pages
+// already processed for a query are not loaded again, so a full session
+// over m queries costs at most the union of relevant pages.
+func TestSessionBufferingSavesIO(t *testing.T) {
+	const dim = 8
+	items := testDB(11, 800, dim)
+	m := vec.Euclidean{}
+	rng := rand.New(rand.NewSource(12))
+
+	queries := make([]Query, 20)
+	for i := range queries {
+		queries[i] = Query{ID: uint64(i), Vec: testDB(rng.Int63(), 1, dim)[0].Vec, Type: query.NewKNN(10)}
+	}
+
+	// Cost of m independent single queries on a fresh scan engine.
+	pSingle, err := New(scanEngine(t, items), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var singlePages int64
+	for _, q := range queries {
+		_, st, err := pSingle.Single(q.Vec, q.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singlePages += st.PagesRead
+	}
+
+	// Cost of the same queries as one multiple similarity query.
+	pMulti, err := New(scanEngine(t, items), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := pMulti.MultiQuery(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := int64(pMulti.Engine().NumPages())
+	if st.PagesRead != pages {
+		t.Errorf("multi-query scan read %d pages, want exactly one pass (%d)", st.PagesRead, pages)
+	}
+	if singlePages != pages*int64(len(queries)) {
+		t.Errorf("single queries read %d pages, want %d", singlePages, pages*int64(len(queries)))
+	}
+}
+
+// TestAvoidanceSavesDistanceCalcs checks §5.2: with avoidance on, fewer
+// distance calculations happen, and answers stay identical (already checked
+// above).
+func TestAvoidanceSavesDistanceCalcs(t *testing.T) {
+	const dim = 8
+	items := testDB(13, 1500, dim)
+	m := vec.Euclidean{}
+	rng := rand.New(rand.NewSource(14))
+	queries := make([]Query, 30)
+	for i := range queries {
+		queries[i] = Query{ID: uint64(i), Vec: testDB(rng.Int63(), 1, dim)[0].Vec, Type: query.NewKNN(10)}
+	}
+
+	run := func(mode AvoidanceMode) Stats {
+		p, err := New(scanEngine(t, items), m, Options{Avoidance: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := p.MultiQuery(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	off := run(AvoidOff)
+	on := run(AvoidBoth)
+	if off.Avoided != 0 || off.AvoidTries != 0 || off.MatrixDistCalcs != 0 {
+		t.Errorf("AvoidOff produced avoidance stats: %+v", off)
+	}
+	if on.Avoided == 0 {
+		t.Error("AvoidBoth avoided nothing")
+	}
+	if on.DistCalcs >= off.DistCalcs {
+		t.Errorf("avoidance did not reduce distance calcs: %d vs %d", on.DistCalcs, off.DistCalcs)
+	}
+	if on.DistCalcs+on.Avoided != off.DistCalcs {
+		t.Errorf("avoided (%d) + computed (%d) != baseline (%d)", on.Avoided, on.DistCalcs, off.DistCalcs)
+	}
+	wantMatrix := int64(len(queries) * (len(queries) - 1) / 2)
+	if on.MatrixDistCalcs != wantMatrix {
+		t.Errorf("MatrixDistCalcs = %d, want %d", on.MatrixDistCalcs, wantMatrix)
+	}
+}
+
+func TestMultiQueryValidation(t *testing.T) {
+	items := testDB(15, 60, 2)
+	p, err := New(scanEngine(t, items), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSession()
+	if _, _, err := s.MultiQuery(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	q := Query{ID: 1, Vec: vec.Vector{0, 0}, Type: query.NewKNN(2)}
+	if _, _, err := s.MultiQuery([]Query{q, q}); err == nil {
+		t.Error("duplicate IDs in one call accepted")
+	}
+	if _, _, err := s.MultiQuery([]Query{{ID: 2, Vec: nil, Type: query.NewKNN(1)}}); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, _, err := s.MultiQuery([]Query{{ID: 3, Vec: vec.Vector{1, 1}, Type: query.NewKNN(0)}}); err == nil {
+		t.Error("invalid type accepted")
+	}
+	// ID reuse with a different object.
+	if _, _, err := s.MultiQuery([]Query{q}); err != nil {
+		t.Fatal(err)
+	}
+	q2 := Query{ID: 1, Vec: vec.Vector{9, 9}, Type: query.NewKNN(2)}
+	if _, _, err := s.MultiQuery([]Query{q2}); err == nil {
+		t.Error("ID reuse with different vector accepted")
+	}
+}
+
+func TestMultiQueryRepeatedFirstQueryIsFree(t *testing.T) {
+	items := testDB(16, 200, 3)
+	p, err := New(scanEngine(t, items), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSession()
+	q := Query{ID: 7, Vec: vec.Vector{0.1, 0.2, 0.3}, Type: query.NewKNN(3)}
+	first, st1, err := s.MultiQuery([]Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.PagesRead == 0 {
+		t.Fatal("first call read nothing")
+	}
+	again, st2, err := s.MultiQuery([]Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.PagesRead != 0 || st2.DistCalcs != 0 {
+		t.Errorf("repeated query cost I/O or CPU: %+v", st2)
+	}
+	if !sameAnswers(first[0].Answers(), again[0].Answers()) {
+		t.Error("buffered answers differ")
+	}
+}
+
+func TestMultiQuerySurfacesDiskErrors(t *testing.T) {
+	items := testDB(17, 100, 2)
+	e, err := scan.New(items, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	e.Pager().Disk().FailOn(func(pid store.PageID) error {
+		if pid == 3 {
+			return boom
+		}
+		return nil
+	})
+	p, err := New(e, vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Single(vec.Vector{0, 0}, query.NewKNN(1)); !errors.Is(err, boom) {
+		t.Errorf("single query did not surface disk error: %v", err)
+	}
+	s := p.NewSession()
+	if _, _, err := s.MultiQuery([]Query{{ID: 1, Vec: vec.Vector{0, 0}, Type: query.NewKNN(1)}}); !errors.Is(err, boom) {
+		t.Errorf("multi query did not surface disk error: %v", err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Queries: 1, PagesRead: 2, PageVisits: 3, DistCalcs: 4, MatrixDistCalcs: 5, AvoidTries: 6, Avoided: 7}
+	sum := a.Add(a)
+	if sum.Queries != 2 || sum.PagesRead != 4 || sum.PageVisits != 6 ||
+		sum.DistCalcs != 8 || sum.MatrixDistCalcs != 10 || sum.AvoidTries != 12 || sum.Avoided != 14 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if a.TotalDistCalcs() != 9 {
+		t.Errorf("TotalDistCalcs = %d", a.TotalDistCalcs())
+	}
+}
+
+// TestDynamicQueryArrival simulates the ExploreNeighborhoods pattern of
+// §5.1: answers of the first query become new query objects in the next
+// call, and pages loaded for Q2 opportunistically serve them.
+func TestDynamicQueryArrival(t *testing.T) {
+	const dim = 6
+	items := testDB(18, 700, dim)
+	m := vec.Euclidean{}
+	e := xtreeEngine(t, items, dim)
+	p, err := New(e, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSession()
+
+	q0 := Query{ID: 1000, Vec: items[0].Vec, Type: query.NewKNN(5)}
+	q1 := Query{ID: 1001, Vec: items[1].Vec, Type: query.NewKNN(5)}
+	res, _, err := s.MultiQuery([]Query{q0, q1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote answers of Q0 to query objects, as the transformed scheme does.
+	batch := []Query{q1}
+	for _, a := range res[0].Answers() {
+		batch = append(batch, Query{ID: uint64(a.ID), Vec: items[a.ID].Vec, Type: query.NewKNN(5)})
+	}
+	res2, _, err := s.MultiQuery(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := brute(items, m, q1.Vec, q1.Type); !sameAnswers(res2[0].Answers(), want) {
+		t.Fatal("Q1 incomplete after becoming the first query")
+	}
+
+	// Finish everything and verify against brute force.
+	for i := 1; i < len(batch); i++ {
+		r, _, err := s.MultiQuery(batch[i:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brute(items, m, batch[i].Vec, batch[i].Type)
+		if !sameAnswers(r[0].Answers(), want) {
+			t.Fatalf("dynamic query %d incorrect", i)
+		}
+	}
+}
+
+// TestMultiEnginesAgree cross-checks that scan and X-tree multi-query
+// processing produce byte-identical ordered answers.
+func TestMultiEnginesAgree(t *testing.T) {
+	const dim = 5
+	items := testDB(19, 400, dim)
+	m := vec.Euclidean{}
+	rng := rand.New(rand.NewSource(20))
+	queries := make([]Query, 10)
+	for i := range queries {
+		queries[i] = Query{ID: uint64(i), Vec: testDB(rng.Int63(), 1, dim)[0].Vec, Type: query.NewKNN(8)}
+	}
+
+	ps, err := New(scanEngine(t, items), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := New(xtreeEngine(t, items, dim), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := ps.MultiQuery(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, _, err := px.MultiQuery(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if !sameAnswers(rs[i].Answers(), rx[i].Answers()) {
+			t.Fatalf("query %d: scan and xtree disagree", i)
+		}
+	}
+}
+
+// TestAnswerOrderIsSorted double-checks result ordering invariants on the
+// multi-query path.
+func TestAnswerOrderIsSorted(t *testing.T) {
+	items := testDB(21, 300, 4)
+	p, err := New(scanEngine(t, items), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{ID: 1, Vec: items[3].Vec, Type: query.NewRange(0.7)},
+		{ID: 2, Vec: items[4].Vec, Type: query.NewKNN(12)},
+	}
+	res, _, err := p.MultiQuery(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		as := r.Answers()
+		if !sort.SliceIsSorted(as, func(x, y int) bool {
+			if as[x].Dist != as[y].Dist {
+				return as[x].Dist < as[y].Dist
+			}
+			return as[x].ID < as[y].ID
+		}) {
+			t.Errorf("query %d answers unsorted", i)
+		}
+	}
+}
+
+// TestXTreeMultiQueryDoesNotInflateCPU guards the bootstrap behaviour: on a
+// selective index, processing a batch as one multiple similarity query must
+// not cost more distance calculations than the equivalent single queries
+// (the failure mode is sharing every page with queries whose query distance
+// is still unbounded).
+func TestXTreeMultiQueryDoesNotInflateCPU(t *testing.T) {
+	const dim = 6
+	items := testDB(30, 3000, dim)
+	m := vec.Euclidean{}
+	queries := make([]Query, 25)
+	rng := rand.New(rand.NewSource(31))
+	for i := range queries {
+		queries[i] = Query{ID: uint64(i), Vec: items[rng.Intn(len(items))].Vec.Clone(), Type: query.NewKNN(10)}
+	}
+
+	pSingle, err := New(xtreeEngine(t, items, dim), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var singles Stats
+	for _, q := range queries {
+		_, st, err := pSingle.Single(q.Vec, q.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles = singles.Add(st)
+	}
+
+	pMulti, err := New(xtreeEngine(t, items, dim), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, multi, err := pMulti.MultiQuery(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Page sharing on a very selective index with independent queries is
+	// the worst case for CPU (the paper's X-tree CPU gain is likewise its
+	// smallest effect): allow a bounded overhead in exchange for the I/O
+	// savings asserted below.
+	if multi.TotalDistCalcs() > singles.DistCalcs*13/10 {
+		t.Errorf("multi-query cost %d distance calcs, singles %d", multi.TotalDistCalcs(), singles.DistCalcs)
+	}
+	if multi.PagesRead > singles.PagesRead {
+		t.Errorf("multi-query read %d pages, singles %d", multi.PagesRead, singles.PagesRead)
+	}
+}
+
+// TestBootstrapSkipsRangeQueries: range queries have a finite query
+// distance from the start, so no bootstrap page reads should happen for a
+// batch of selective range queries beyond the pages their plans require.
+func TestBootstrapSkipsRangeQueries(t *testing.T) {
+	const dim = 4
+	items := testDB(32, 1000, dim)
+	p, err := New(xtreeEngine(t, items, dim), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{ID: 1, Vec: items[1].Vec, Type: query.NewRange(0.05)},
+		{ID: 2, Vec: items[2].Vec, Type: query.NewRange(0.05)},
+		{ID: 3, Vec: items[3].Vec, Type: query.NewRange(0.05)},
+	}
+	results, _, err := p.MultiQuery(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want := brute(items, vec.Euclidean{}, q.Vec, q.Type)
+		if !sameAnswers(results[i].Answers(), want) {
+			t.Fatalf("range query %d incorrect under batching", i)
+		}
+	}
+}
+
+// TestMultiMatchesSingleProperty is a randomized end-to-end property test:
+// for random datasets, engines, avoidance modes, and query mixes, the
+// completed multiple similarity query equals brute force.
+func TestMultiMatchesSingleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(5)
+		items := testDB(rng.Int63(), 150+rng.Intn(250), dim)
+
+		var eng engine.Engine
+		if rng.Intn(2) == 0 {
+			eng = func() engine.Engine {
+				e, err := scan.New(items, 8+rng.Intn(24), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}()
+		} else {
+			tr, err := xtree.Bulk(items, dim, xtree.Config{
+				LeafCapacity: 8 + rng.Intn(24),
+				DirFanout:    4 + rng.Intn(8),
+				BufferPages:  0,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng = tr
+		}
+		mode := []AvoidanceMode{AvoidBoth, AvoidOff, AvoidLemma1, AvoidLemma2}[rng.Intn(4)]
+		p, err := New(eng, vec.Euclidean{}, Options{Avoidance: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m := 2 + rng.Intn(10)
+		queries := make([]Query, m)
+		for i := range queries {
+			var typ query.Type
+			switch rng.Intn(3) {
+			case 0:
+				typ = query.NewKNN(1 + rng.Intn(12))
+			case 1:
+				typ = query.NewRange(rng.Float64() * 0.8)
+			default:
+				typ = query.NewBoundedKNN(1+rng.Intn(8), rng.Float64()*0.9)
+			}
+			queries[i] = Query{ID: uint64(i), Vec: items[rng.Intn(len(items))].Vec.Clone(), Type: typ}
+		}
+
+		results, _, err := p.MultiQuery(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			if !sameAnswers(results[i].Answers(), brute(items, vec.Euclidean{}, q.Vec, q.Type)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRankingEmitsAscendingAndComplete: the incremental ranking iterator
+// yields exactly the whole database in ascending (distance, ID) order.
+func TestRankingEmitsAscendingAndComplete(t *testing.T) {
+	const dim = 4
+	items := testDB(50, 300, dim)
+	for _, mk := range []func() engine.Engine{
+		func() engine.Engine { return scanEngine(t, items) },
+		func() engine.Engine { return xtreeEngine(t, items, dim) },
+	} {
+		p, err := New(mk(), vec.Euclidean{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := items[17].Vec
+		r, err := p.Ranking(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brute(items, vec.Euclidean{}, q, query.NewKNN(len(items)))
+		for i := range want {
+			a, ok, err := r.Next()
+			if err != nil || !ok {
+				t.Fatalf("ranking ended early at %d: ok=%v err=%v", i, ok, err)
+			}
+			if a != want[i] {
+				t.Fatalf("rank %d: got %+v, want %+v", i, a, want[i])
+			}
+		}
+		if _, ok, _ := r.Next(); ok {
+			t.Fatal("ranking emitted more objects than the database holds")
+		}
+	}
+}
+
+// TestRankingIsLazy: stopping after k results on an index engine reads
+// only a fraction of the pages.
+func TestRankingIsLazy(t *testing.T) {
+	const dim = 4
+	items := testDB(51, 2000, dim)
+	p, err := New(xtreeEngine(t, items, dim), vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Ranking(items[99].Vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok, err := r.Next(); !ok || err != nil {
+			t.Fatal("ranking ended early")
+		}
+	}
+	if got := r.Stats().PagesRead; got >= int64(p.Engine().NumPages())/2 {
+		t.Errorf("10-NN ranking visited %d of %d pages", got, p.Engine().NumPages())
+	}
+	if _, err := p.Ranking(nil); err == nil {
+		t.Error("empty query vector accepted")
+	}
+}
+
+// TestRankingSurfacesErrors: a failing disk stops the iterator and the
+// error sticks.
+func TestRankingSurfacesErrors(t *testing.T) {
+	items := testDB(52, 100, 2)
+	e, err := scan.New(items, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	e.Pager().Disk().FailOn(func(store.PageID) error { return boom })
+	p, err := New(e, vec.Euclidean{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Ranking(items[0].Vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); !errors.Is(err, boom) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	if _, _, err := r.Next(); !errors.Is(err, boom) {
+		t.Fatalf("error did not stick: %v", err)
+	}
+}

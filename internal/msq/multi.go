@@ -1,0 +1,479 @@
+package msq
+
+import (
+	"fmt"
+	"math"
+
+	"metricdb/internal/query"
+	"metricdb/internal/store"
+)
+
+// queryState is the per-query bookkeeping that persists across incremental
+// multi-query calls: the (partial) answer list and the set of pages whose
+// items have already been tested for this query. Together they are the
+// "internal buffer" of Figure 4 (restore_from_buffer / buffer_answers).
+type queryState struct {
+	q         Query
+	answers   *query.AnswerList
+	processed map[store.PageID]struct{}
+	done      bool
+	// bound is an a-priori upper bound on the final query distance,
+	// derived from MAXDIST over a data page holding enough items (see
+	// Session.bootstrap). It lets a k-NN query participate in page
+	// relevance filtering and distance avoidance before any of its
+	// object distances have been calculated. +Inf when unknown.
+	bound float64
+}
+
+// queryDist is the effective pruning distance: the adaptive answer-list
+// distance, capped by the a-priori bound. Both are upper bounds on the
+// final query distance, so the minimum is a safe pruning threshold.
+func (st *queryState) queryDist() float64 {
+	if qd := st.answers.QueryDist(); qd < st.bound {
+		return qd
+	}
+	return st.bound
+}
+
+// Session holds buffered (partial) answers between incremental multi-query
+// calls. A session is bound to one processor and is not safe for concurrent
+// use; the parallel query processor gives each server its own session.
+type Session struct {
+	proc   *Processor
+	states map[uint64]*queryState
+	// pairDist caches inter-query distances ("QObjDists") so that each
+	// pair is calculated at most once per session, keeping the matrix
+	// overhead at m(m-1)/2 for a block of m queries even under
+	// incremental evaluation.
+	pairDist map[pairKey]float64
+}
+
+// pairKey identifies an unordered query pair.
+type pairKey struct{ lo, hi uint64 }
+
+// NewSession starts an empty multi-query session.
+func (p *Processor) NewSession() *Session {
+	return &Session{
+		proc:     p,
+		states:   make(map[uint64]*queryState),
+		pairDist: make(map[pairKey]float64),
+	}
+}
+
+// state returns the buffered state for q, creating it on first sight and
+// rejecting ID reuse with a different query object or type.
+func (s *Session) state(q Query) (*queryState, error) {
+	if st, ok := s.states[q.ID]; ok {
+		if !st.q.Vec.Equal(q.Vec) || st.q.Type != q.Type {
+			return nil, fmt.Errorf("msq: query ID %d reused with a different object or type", q.ID)
+		}
+		return st, nil
+	}
+	st := &queryState{
+		q:         q,
+		answers:   query.NewAnswerList(q.Type),
+		processed: make(map[store.PageID]struct{}),
+		bound:     math.Inf(1),
+	}
+	s.states[q.ID] = st
+	return st, nil
+}
+
+// MultiQuery evaluates a multiple similarity query per Definition 4 and the
+// algorithm of Figure 4. On return, the answers for queries[0] are complete
+// (A1 = similarity_query(Q1, T1)); the answers for the remaining queries
+// are correct subsets of their full results (A_i ⊆ similarity_query(Q_i,
+// T_i)), collected opportunistically from the pages loaded for Q1 and
+// buffered in the session for later calls.
+//
+// The returned answer lists are aligned with queries and owned by the
+// session: they remain live and may grow in subsequent calls.
+func (s *Session) MultiQuery(queries []Query) ([]*query.AnswerList, Stats, error) {
+	states, results, err := s.prepare(queries)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if states[0].done {
+		// The first query was completed by an earlier call; its answers
+		// come straight from the buffer.
+		return results, Stats{}, nil
+	}
+
+	var stats Stats
+	acct := s.beginAccounting()
+
+	// Inter-query distance matrix for the avoidance lemmas. Computing it
+	// costs m(m-1)/2 distance calculations — the initialization overhead
+	// that is quadratic in m (§5.2, §6.4).
+	matrix := s.queryDistMatrix(queries, &stats)
+	pos := identityPositions(len(states))
+
+	err = s.run(states, matrix, pos, &stats)
+	stats.Queries = 1
+	acct.finish(&stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// prepare validates the batch and restores (or creates) the per-query
+// buffered states.
+func (s *Session) prepare(queries []Query) ([]*queryState, []*query.AnswerList, error) {
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("msq: empty multiple similarity query")
+	}
+	seen := make(map[uint64]bool, len(queries))
+	states := make([]*queryState, len(queries))
+	for i, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if seen[q.ID] {
+			return nil, nil, fmt.Errorf("msq: query ID %d appears twice in one call", q.ID)
+		}
+		seen[q.ID] = true
+		st, err := s.state(q) // restore_from_buffer
+		if err != nil {
+			return nil, nil, err
+		}
+		states[i] = st
+	}
+	results := make([]*query.AnswerList, len(queries))
+	for i, st := range states {
+		results[i] = st.answers
+	}
+	return states, results, nil
+}
+
+// accounting snapshots the I/O and distance counters so a call can report
+// its own deltas.
+type accounting struct {
+	s          *Session
+	ioBefore   store.IOStats
+	distBefore int64
+}
+
+func (s *Session) beginAccounting() accounting {
+	return accounting{
+		s:          s,
+		ioBefore:   ioSnapshot(s.proc.eng.Pager()),
+		distBefore: s.proc.metric.Count(),
+	}
+}
+
+func (a accounting) finish(stats *Stats) {
+	stats.PagesRead = a.s.proc.eng.Pager().Disk().Stats().Reads - a.ioBefore.Reads
+	stats.DistCalcs = a.s.proc.metric.Count() - a.distBefore - stats.MatrixDistCalcs
+}
+
+// identityPositions returns [0, 1, ..., n-1].
+func identityPositions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	return pos
+}
+
+// run executes one multiple-similarity-query pass: it completes states[0]
+// and opportunistically collects partial answers for the rest. matrix is
+// indexed by the global positions in pos (pos[i] is the matrix row of
+// states[i]), so MultiQueryAll can share one matrix across all its passes.
+func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats *Stats) error {
+	first := states[0]
+
+	// Bootstrap: a k-NN query that has no answers yet cannot exclude any
+	// page (its query distance is infinite), so sharing Q1's pages with
+	// it would process *every* page for it. Definition 4 only requires
+	// partial answers for the non-first queries, so before the page loop
+	// each unbounded k-NN query receives an a-priori bound: MAXDIST to
+	// any single data page holding at least k items upper-bounds its
+	// k-NN distance, at zero I/O and zero object-distance cost. On
+	// engines without geometric knowledge (the scan) the bound stays
+	// +Inf, which is fine — a scan processes every page for every query
+	// by design.
+	s.bootstrap(states)
+	if err := s.seedFirstPages(states, stats); err != nil {
+		return err
+	}
+
+	// determine_relevant_data_pages: the plan covers (at least) every
+	// page relevant for Q1, in optimal order. Buffered partial answers
+	// and the a-priori bound give Q1 a head start on its query distance.
+	plan := s.proc.eng.Plan(first.q.Vec, first.queryDist())
+
+	// active caches, per page, which queries still need the page.
+	active := make([]*queryState, 0, len(states))
+	activePos := make([]int, 0, len(states))
+
+	for _, ref := range plan {
+		if ref.MinDist > first.queryDist() {
+			break // prune_pages for Q1; later refs are even farther
+		}
+		if _, ok := first.processed[ref.ID]; ok {
+			continue // already examined for Q1 in an earlier call
+		}
+
+		// Decide which queries this page is relevant for.
+		active = active[:0]
+		activePos = activePos[:0]
+		for i, st := range states {
+			if st.done {
+				continue
+			}
+			if _, ok := st.processed[ref.ID]; ok {
+				continue
+			}
+			if i > 0 && s.proc.eng.MinDist(st.q.Vec, ref.ID) > st.queryDist() {
+				continue
+			}
+			active = append(active, st)
+			activePos = append(activePos, pos[i])
+		}
+
+		page, err := s.proc.eng.ReadPage(ref.ID)
+		if err != nil {
+			return fmt.Errorf("msq: multiple query: %w", err)
+		}
+		stats.PageVisits += int64(len(active))
+
+		s.processPage(page, active, activePos, matrix, stats)
+
+		for _, st := range active {
+			st.processed[ref.ID] = struct{}{}
+		}
+	}
+
+	first.done = true // A1 is now complete; buffer_answers is implicit.
+	return nil
+}
+
+// bootstrap computes, for every query whose effective query distance is
+// still unbounded, the a-priori bound: the minimum over the data pages
+// holding at least Cardinality items of MAXDIST(query, page MBR). Every
+// item on such a page is within MAXDIST, so the final k-NN distance cannot
+// exceed it. The computation uses only MBR geometry — no I/O and no object
+// distance calculations.
+func (s *Session) bootstrap(states []*queryState) {
+	eng := s.proc.eng
+	nPages := eng.NumPages()
+	for _, st := range states {
+		if st.done || !st.q.Type.Bounded() || !math.IsInf(st.queryDist(), 1) {
+			continue
+		}
+		k := st.q.Type.Cardinality
+		best := math.Inf(1)
+		for pid := 0; pid < nPages; pid++ {
+			p := store.PageID(pid)
+			if eng.PageLen(p) < k {
+				continue
+			}
+			if d := eng.MaxDist(st.q.Vec, p); d < best {
+				best = d
+			}
+		}
+		st.bound = best
+	}
+}
+
+// seedFirstPages tightens the bound of each new bounded query further by
+// processing the single unprocessed page nearest to it (by lower bound):
+// that page's true k-th distance is typically very close to the final k-NN
+// distance, so subsequent page sharing for the query admits few superfluous
+// pages. Only queries whose answer list is still unfilled are seeded, and
+// only on engines with geometric page knowledge (an uninformative engine
+// such as the scan would always seed page 0 for everyone).
+func (s *Session) seedFirstPages(states []*queryState, stats *Stats) error {
+	eng := s.proc.eng
+	nPages := eng.NumPages()
+	for idx, st := range states {
+		if idx == 0 || st.done || st.answers.Full() || !st.q.Type.Bounded() {
+			continue
+		}
+		best := store.InvalidPage
+		bestD := math.Inf(1)
+		informative := false
+		for pid := 0; pid < nPages; pid++ {
+			p := store.PageID(pid)
+			if _, ok := st.processed[p]; ok {
+				continue
+			}
+			d := eng.MinDist(st.q.Vec, p)
+			if d > 0 {
+				informative = true
+			}
+			if d < bestD {
+				best, bestD = p, d
+			}
+		}
+		if !informative || best == store.InvalidPage {
+			continue
+		}
+		page, err := eng.ReadPage(best)
+		if err != nil {
+			return fmt.Errorf("msq: seeding query %d: %w", st.q.ID, err)
+		}
+		stats.PageVisits++
+		for i := range page.Items {
+			d := s.proc.metric.Distance(st.q.Vec, page.Items[i].Vec)
+			st.answers.Consider(page.Items[i].ID, d)
+		}
+		st.processed[best] = struct{}{}
+	}
+	return nil
+}
+
+// queryDistMatrix computes dist(Q_i, Q_j) for all pairs. Row i is indexed
+// by query position j. With avoidance disabled, or for a single query, no
+// matrix is needed.
+func (s *Session) queryDistMatrix(queries []Query, stats *Stats) [][]float64 {
+	m := len(queries)
+	if m < 2 || s.proc.opts.Avoidance == AvoidOff {
+		return nil
+	}
+	matrix := make([][]float64, m)
+	for i := range matrix {
+		matrix[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := s.pairDistance(queries[i], queries[j], stats)
+			matrix[i][j] = d
+			matrix[j][i] = d
+		}
+	}
+	return matrix
+}
+
+// pairDistance returns dist(Q_i, Q_j), computing and caching it on first
+// use and charging the calculation to the matrix overhead.
+func (s *Session) pairDistance(qi, qj Query, stats *Stats) float64 {
+	k := pairKey{lo: qi.ID, hi: qj.ID}
+	if k.lo > k.hi {
+		k.lo, k.hi = k.hi, k.lo
+	}
+	if d, ok := s.pairDist[k]; ok {
+		return d
+	}
+	d := s.proc.metric.Distance(qi.Vec, qj.Vec)
+	s.pairDist[k] = d
+	stats.MatrixDistCalcs++
+	return d
+}
+
+// knownDist records a distance already calculated from the current database
+// object to the query at position idx ("AvoidingDists" in Figure 4).
+type knownDist struct {
+	idx int
+	d   float64
+}
+
+// processPage tests every item of page against every active query, using
+// the triangle inequality over already-known distances to avoid
+// calculations where possible.
+func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats) {
+	mode := s.proc.opts.Avoidance
+	known := make([]knownDist, 0, len(active))
+	for it := range page.Items {
+		item := &page.Items[it]
+		known = known[:0]
+		for a, st := range active {
+			pos := activeIdx[a]
+			if matrix != nil && mode != AvoidOff {
+				if s.avoidable(st.queryDist(), pos, known, matrix, stats) {
+					stats.Avoided++
+					continue
+				}
+			}
+			d := s.proc.metric.Distance(st.q.Vec, item.Vec)
+			known = append(known, knownDist{idx: pos, d: d})
+			st.answers.Consider(item.ID, d)
+		}
+	}
+}
+
+// maxAvoidProbes caps how many known distances one avoidance decision
+// consults. Unbounded probing is quadratic in the block size m and
+// dominates wall-clock for m in the thousands, while the probability that
+// a probe succeeds after many failures is low; the cap keeps the vast
+// majority of avoided calculations at linear cost. (The paper's own
+// quadratic-in-m degradation at s=16 stems mainly from the query-distance
+// matrix, which is not affected by this cap.)
+const maxAvoidProbes = 8
+
+// avoidable implements Definition 5 via Lemmas 1 and 2: the calculation of
+// dist(Q_i, O) is avoidable if some already-known dist(Q_j, O) proves
+// dist(Q_i, O) > QueryDist(Q_i). Strict inequalities are used so that
+// boundary answers (dist exactly equal to the query distance) are never
+// lost.
+//
+//	Lemma 1: dist(O,Qj) - dist(Qi,Qj) > QueryDist(Qi)  =>  avoid
+//	Lemma 2: dist(Qi,Qj) - dist(O,Qj) > QueryDist(Qi)  =>  avoid
+func (s *Session) avoidable(qd float64, pos int, known []knownDist, matrix [][]float64, stats *Stats) bool {
+	row := matrix[pos]
+	mode := s.proc.opts.Avoidance
+	if len(known) > maxAvoidProbes {
+		known = known[:maxAvoidProbes]
+	}
+	for _, k := range known {
+		stats.AvoidTries++
+		mij := row[k.idx]
+		switch mode {
+		case AvoidBoth:
+			if k.d-mij > qd || mij-k.d > qd {
+				return true
+			}
+		case AvoidLemma1:
+			if k.d-mij > qd {
+				return true
+			}
+		case AvoidLemma2:
+			if mij-k.d > qd {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MultiQueryAll evaluates the whole batch to completion by running the
+// multiple similarity query for every not-yet-finished suffix — the
+// evaluation the paper describes: "to determine the complete answers for
+// the other query objects we have to call the method repeatedly for
+// [Q2,...,Qm], [Q3,...,Qm], ..., [Qm]". The session's page bookkeeping
+// guarantees no page is processed twice for the same query, and the
+// query-distance matrix is computed once for the whole batch (calling
+// MultiQuery on each suffix instead would rebuild an O(m²) matrix per
+// suffix — cubic in m overall).
+func (s *Session) MultiQueryAll(queries []Query) ([]*query.AnswerList, Stats, error) {
+	states, results, err := s.prepare(queries)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	var stats Stats
+	acct := s.beginAccounting()
+	matrix := s.queryDistMatrix(queries, &stats)
+	pos := identityPositions(len(states))
+
+	for i := range states {
+		if states[i].done {
+			continue
+		}
+		if err := s.run(states[i:], matrix, pos[i:], &stats); err != nil {
+			acct.finish(&stats)
+			return nil, stats, err
+		}
+		stats.Queries++
+	}
+	acct.finish(&stats)
+	return results, stats, nil
+}
+
+// MultiQuery is the convenience entry point for a one-shot batch: it runs a
+// fresh session to completion and returns the complete answers for every
+// query.
+func (p *Processor) MultiQuery(queries []Query) ([]*query.AnswerList, Stats, error) {
+	return p.NewSession().MultiQueryAll(queries)
+}

@@ -1,0 +1,51 @@
+package msq
+
+import (
+	"fmt"
+
+	"metricdb/internal/query"
+	"metricdb/internal/vec"
+)
+
+// Single evaluates one similarity query, implementing the algorithm of
+// Figure 1: the engine supplies the relevant data pages in optimal order
+// (determine_relevant_data_pages), each page's items are tested against the
+// current query distance, and for bounded queries the query distance
+// tightens as answers arrive (adapt_query_dist), pruning the remaining plan
+// (prune_pages).
+func (p *Processor) Single(q vec.Vector, t query.Type) (*query.AnswerList, Stats, error) {
+	if err := t.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if len(q) == 0 {
+		return nil, Stats{}, fmt.Errorf("msq: empty query vector")
+	}
+
+	answers := query.NewAnswerList(t)
+	ioBefore := ioSnapshot(p.eng.Pager())
+	distBefore := p.metric.Count()
+	stats := Stats{Queries: 1}
+
+	plan := p.eng.Plan(q, t.InitialQueryDist())
+	for _, ref := range plan {
+		// prune_pages: the plan is ordered by ascending lower bound for
+		// index engines (all zero for a scan), so the first reference
+		// beyond the query distance ends the search.
+		if ref.MinDist > answers.QueryDist() {
+			break
+		}
+		page, err := p.eng.ReadPage(ref.ID)
+		if err != nil {
+			return nil, stats, fmt.Errorf("msq: single query: %w", err)
+		}
+		stats.PageVisits++
+		for i := range page.Items {
+			d := p.metric.Distance(q, page.Items[i].Vec)
+			answers.Consider(page.Items[i].ID, d)
+		}
+	}
+
+	stats.PagesRead = p.eng.Pager().Disk().Stats().Reads - ioBefore.Reads
+	stats.DistCalcs = p.metric.Count() - distBefore
+	return answers, stats, nil
+}

@@ -1,0 +1,124 @@
+package mtree
+
+import (
+	"math"
+	"sort"
+)
+
+// BatchKNN evaluates k-nearest-neighbor queries for all query objects in
+// one shared traversal: every node is visited at most once and processed
+// for the queries it is still relevant for, and distances computed for
+// earlier queries avoid calculations for later ones via Lemmas 1 and 2,
+// with the per-query dynamic k-NN distance as the pruning threshold.
+//
+// Results are per query, ascending by distance. Compared to repeated
+// single KNN calls, the traversal order is depth-first rather than
+// best-first per query, so individual queries may look at more nodes; the
+// sharing and avoidance more than compensate for batched, related queries.
+func (t *Tree[T]) BatchKNN(queries []T, k int) ([][]Result[T], BatchStats) {
+	m := len(queries)
+	out := make([][]Result[T], m)
+	var stats BatchStats
+	if m == 0 || k <= 0 || t.size == 0 {
+		return out, stats
+	}
+	before := t.calcs
+
+	matrix := make([][]float64, m)
+	for i := range matrix {
+		matrix[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := t.d(queries[i], queries[j])
+			matrix[i][j], matrix[j][i] = d, d
+			stats.MatrixCalcs++
+		}
+	}
+
+	results := make([]knnAccum[T], m)
+	for i := range results {
+		results[i].k = k
+	}
+	active := make([]int, m)
+	for i := range active {
+		active[i] = i
+	}
+	t.batchKNNWalk(t.root, queries, matrix, active, results, &stats)
+
+	for i := range results {
+		out[i] = results[i].items
+	}
+	stats.DistCalcs = t.calcs - before - stats.MatrixCalcs
+	return out, stats
+}
+
+// knnAccum is a bounded best-k accumulator.
+type knnAccum[T any] struct {
+	k     int
+	items []Result[T]
+}
+
+// worst returns the current pruning distance: +Inf until k results exist.
+func (a *knnAccum[T]) worst() float64 {
+	if len(a.items) < a.k {
+		return math.Inf(1)
+	}
+	return a.items[len(a.items)-1].Dist
+}
+
+func (a *knnAccum[T]) consider(obj T, d float64) {
+	if d > a.worst() {
+		return
+	}
+	i := sort.Search(len(a.items), func(i int) bool { return a.items[i].Dist > d })
+	a.items = append(a.items, Result[T]{})
+	copy(a.items[i+1:], a.items[i:])
+	a.items[i] = Result[T]{Obj: obj, Dist: d}
+	if len(a.items) > a.k {
+		a.items = a.items[:a.k]
+	}
+}
+
+// batchKNNWalk visits n once for the still-active queries.
+func (t *Tree[T]) batchKNNWalk(n *node[T], queries []T, matrix [][]float64, active []int, results []knnAccum[T], stats *BatchStats) {
+	knowns := make([]knownPair, 0, len(active))
+	if n.leaf {
+		for e := range n.entries {
+			obj := n.entries[e].obj
+			knowns = knowns[:0]
+			for _, qi := range active {
+				if avoidWith(knowns, matrix[qi], results[qi].worst(), stats) {
+					continue
+				}
+				d := t.d(queries[qi], obj)
+				knowns = append(knowns, knownPair{qi, d})
+				results[qi].consider(obj, d)
+			}
+		}
+		return
+	}
+	for i := range n.children {
+		c := &n.children[i]
+		next := make([]int, 0, len(active))
+		knowns = knowns[:0]
+		for _, qi := range active {
+			// The subtree is irrelevant for qi when its lower bound
+			// d(q, c.obj) - c.radius exceeds the current k-NN distance;
+			// the lemma check proves that without computing d(q, c.obj)
+			// when possible.
+			threshold := results[qi].worst() + c.radius
+			if avoidWith(knowns, matrix[qi], threshold, stats) {
+				continue
+			}
+			d := t.d(queries[qi], c.obj)
+			knowns = append(knowns, knownPair{qi, d})
+			if d-c.radius <= results[qi].worst() {
+				next = append(next, qi)
+			}
+		}
+		if len(next) > 0 {
+			t.batchKNNWalk(c.child, queries, matrix, next, results, stats)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package mtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"metricdb/internal/vec"
+)
+
+// euclid adapts the vec metric for []float64 objects.
+func euclid(a, b vec.Vector) float64 { return vec.Euclidean{}.Distance(a, b) }
+
+// editDistance is the Levenshtein distance — a metric on strings that has
+// no vector representation, exercising the general-metric path.
+func editDistance(a, b string) float64 {
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[lb])
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func randomVectors(seed int64, n, dim int) []vec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func buildVecTree(t *testing.T, data []vec.Vector, capacity int) *Tree[vec.Vector] {
+	t.Helper()
+	tr, err := New[vec.Vector](euclid, Config{NodeCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data {
+		tr.Insert(v)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](nil, Config{}); err == nil {
+		t.Error("nil distance accepted")
+	}
+	if _, err := New[int](func(a, b int) float64 { return 0 }, Config{NodeCapacity: 2}); err == nil {
+		t.Error("tiny capacity accepted")
+	}
+	tr, err := New[int](func(a, b int) float64 { return math.Abs(float64(a - b)) }, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("fresh tree: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	data := randomVectors(1, 800, 4)
+	tr := buildVecTree(t, data, 16)
+	if tr.Len() != 800 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d, expected a split tree", tr.Height())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		q := randomVectors(rng.Int63(), 1, 4)[0]
+		eps := 0.15 + rng.Float64()*0.3
+
+		got := tr.Range(q, eps)
+		var want []float64
+		for _, v := range data {
+			if d := euclid(q, v); d <= eps {
+				want = append(want, d)
+			}
+		}
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d answers, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: answer %d dist %v, want %v", trial, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	data := randomVectors(3, 600, 3)
+	tr := buildVecTree(t, data, 12)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		q := randomVectors(rng.Int63(), 1, 3)[0]
+		k := 1 + rng.Intn(15)
+
+		got := tr.KNN(q, k)
+		dists := make([]float64, len(data))
+		for i, v := range data {
+			dists[i] = euclid(q, v)
+		}
+		sort.Float64s(dists)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), k)
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-dists[i]) > 1e-12 {
+				t.Fatalf("trial %d: k-NN %d dist %v, want %v", trial, i, got[i].Dist, dists[i])
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr := buildVecTree(t, randomVectors(5, 10, 2), 8)
+	if got := tr.KNN(vec.Vector{0, 0}, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := tr.KNN(vec.Vector{0, 0}, 100); len(got) != 10 {
+		t.Errorf("k>n returned %d results, want all 10", len(got))
+	}
+	empty, err := New[vec.Vector](euclid, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.KNN(vec.Vector{0, 0}, 3); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+	if got := empty.Range(vec.Vector{0, 0}, 1); len(got) != 0 {
+		t.Errorf("empty tree range returned %v", got)
+	}
+}
+
+func TestTreePrunesDistanceCalculations(t *testing.T) {
+	data := randomVectors(6, 3000, 3)
+	tr := buildVecTree(t, data, 24)
+	tr.ResetDistCalcs()
+	_ = tr.Range(vec.Vector{0.5, 0.5, 0.5}, 0.05)
+	if calcs := tr.DistCalcs(); calcs >= 3000 {
+		t.Errorf("range query computed %d distances on 3000 objects — no pruning", calcs)
+	}
+	tr.ResetDistCalcs()
+	_ = tr.KNN(vec.Vector{0.5, 0.5, 0.5}, 5)
+	if calcs := tr.DistCalcs(); calcs >= 3000 {
+		t.Errorf("kNN computed %d distances — no pruning", calcs)
+	}
+}
+
+func TestBatchRangeMatchesSingle(t *testing.T) {
+	data := randomVectors(7, 700, 4)
+	tr := buildVecTree(t, data, 16)
+	queries := randomVectors(8, 15, 4)
+	const eps = 0.35
+
+	batch, stats := tr.BatchRange(queries, eps)
+	if stats.MatrixCalcs != int64(len(queries)*(len(queries)-1)/2) {
+		t.Errorf("MatrixCalcs = %d", stats.MatrixCalcs)
+	}
+	for i, q := range queries {
+		single := tr.Range(q, eps)
+		if len(batch[i]) != len(single) {
+			t.Fatalf("query %d: batch %d answers, single %d", i, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if math.Abs(batch[i][j].Dist-single[j].Dist) > 1e-12 {
+				t.Fatalf("query %d answer %d: %v vs %v", i, j, batch[i][j].Dist, single[j].Dist)
+			}
+		}
+	}
+}
+
+func TestBatchRangeSavesWork(t *testing.T) {
+	data := randomVectors(9, 2000, 6)
+	tr := buildVecTree(t, data, 24)
+	// Clustered queries around one location profit most from the lemmas.
+	rng := rand.New(rand.NewSource(10))
+	queries := make([]vec.Vector, 40)
+	for i := range queries {
+		q := make(vec.Vector, 6)
+		for j := range q {
+			q[j] = 0.5 + rng.Float64()*0.05
+		}
+		queries[i] = q
+	}
+	const eps = 0.2
+
+	tr.ResetDistCalcs()
+	var singleCalcs int64
+	for _, q := range queries {
+		_ = tr.Range(q, eps)
+	}
+	singleCalcs = tr.ResetDistCalcs()
+
+	_, stats := tr.BatchRange(queries, eps)
+	if stats.Avoided == 0 {
+		t.Error("batch avoided nothing")
+	}
+	batchTotal := stats.DistCalcs + stats.MatrixCalcs
+	if batchTotal >= singleCalcs {
+		t.Errorf("batch computed %d distances, singles %d — no saving", batchTotal, singleCalcs)
+	}
+	if got, _ := tr.BatchRange(nil, eps); len(got) != 0 {
+		t.Errorf("empty batch returned %v", got)
+	}
+}
+
+func TestStringMetricTree(t *testing.T) {
+	sessions := []string{
+		"/index", "/index/about", "/index/news", "/shop/cart", "/shop/cart/pay",
+		"/shop", "/shop/item/1", "/shop/item/2", "/blog", "/blog/post/xyz",
+		"/blog/post/abc", "/index/contact", "/shop/item/42", "/blog/feed",
+	}
+	tr, err := New[string](editDistance, Config{NodeCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sessions {
+		tr.Insert(s)
+	}
+	got := tr.Range("/shop/cart", 5)
+	found := map[string]bool{}
+	for _, r := range got {
+		found[r.Obj] = true
+	}
+	if !found["/shop/cart"] || !found["/shop/cart/pay"] || !found["/shop"] {
+		t.Errorf("edit-distance range query missed close sessions: %v", got)
+	}
+	// Exact brute-force comparison.
+	for _, q := range []string{"/blog", "/shop/item/7", "/index"} {
+		want := 0
+		for _, s := range sessions {
+			if editDistance(q, s) <= 3 {
+				want++
+			}
+		}
+		if res := tr.Range(q, 3); len(res) != want {
+			t.Errorf("Range(%q, 3) = %d answers, want %d", q, len(res), want)
+		}
+	}
+	nn := tr.KNN("/shop/cart/payy", 1)
+	if len(nn) != 1 || nn[0].Obj != "/shop/cart/pay" {
+		t.Errorf("1-NN = %v, want /shop/cart/pay", nn)
+	}
+}
+
+// Property: on random data and random queries, Range and KNN agree with
+// brute force.
+func TestSearchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(150)
+		data := randomVectors(rng.Int63(), n, 3)
+		tr, err := New[vec.Vector](euclid, Config{NodeCapacity: 8})
+		if err != nil {
+			return false
+		}
+		for _, v := range data {
+			tr.Insert(v)
+		}
+		q := randomVectors(rng.Int63(), 1, 3)[0]
+
+		eps := rng.Float64() * 0.5
+		want := 0
+		for _, v := range data {
+			if euclid(q, v) <= eps {
+				want++
+			}
+		}
+		if len(tr.Range(q, eps)) != want {
+			return false
+		}
+
+		k := 1 + rng.Intn(10)
+		dists := make([]float64, n)
+		for i, v := range data {
+			dists[i] = euclid(q, v)
+		}
+		sort.Float64s(dists)
+		res := tr.KNN(q, k)
+		if len(res) != k {
+			return false
+		}
+		for i := range res {
+			if math.Abs(res[i].Dist-dists[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceIsAMetric(t *testing.T) {
+	words := []string{"", "a", "ab", "abc", "axc", "xyz", "abcd", "bcda"}
+	for _, a := range words {
+		for _, b := range words {
+			dab := editDistance(a, b)
+			if dab != editDistance(b, a) {
+				t.Fatalf("asymmetry for %q,%q", a, b)
+			}
+			if (dab == 0) != (a == b) {
+				t.Fatalf("identity violated for %q,%q", a, b)
+			}
+			for _, c := range words {
+				if editDistance(a, c) > dab+editDistance(b, c) {
+					t.Fatalf("triangle violated for %q,%q,%q", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchKNNMatchesSingle(t *testing.T) {
+	data := randomVectors(11, 900, 4)
+	tr := buildVecTree(t, data, 16)
+	queries := randomVectors(12, 12, 4)
+	const k = 7
+
+	batch, stats := tr.BatchKNN(queries, k)
+	if stats.MatrixCalcs != int64(len(queries)*(len(queries)-1)/2) {
+		t.Errorf("MatrixCalcs = %d", stats.MatrixCalcs)
+	}
+	for i, q := range queries {
+		single := tr.KNN(q, k)
+		if len(batch[i]) != k || len(single) != k {
+			t.Fatalf("query %d: batch %d, single %d results", i, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if math.Abs(batch[i][j].Dist-single[j].Dist) > 1e-12 {
+				t.Fatalf("query %d result %d: batch dist %v, single %v", i, j, batch[i][j].Dist, single[j].Dist)
+			}
+		}
+	}
+}
+
+func TestBatchKNNSavesWorkOnRelatedQueries(t *testing.T) {
+	data := randomVectors(13, 2500, 5)
+	tr := buildVecTree(t, data, 24)
+	// Clustered queries: the k-NN of one seed vector.
+	seedNN := tr.KNN(data[0], 30)
+	queries := make([]vec.Vector, len(seedNN))
+	for i, r := range seedNN {
+		queries[i] = r.Obj
+	}
+
+	tr.ResetDistCalcs()
+	for _, q := range queries {
+		_ = tr.KNN(q, 10)
+	}
+	singleCalcs := tr.ResetDistCalcs()
+
+	_, stats := tr.BatchKNN(queries, 10)
+	if stats.Avoided == 0 {
+		t.Error("batch kNN avoided nothing")
+	}
+	if stats.DistCalcs+stats.MatrixCalcs >= singleCalcs {
+		t.Errorf("batch kNN computed %d distances, singles %d", stats.DistCalcs+stats.MatrixCalcs, singleCalcs)
+	}
+}
+
+func TestBatchKNNEdgeCases(t *testing.T) {
+	tr := buildVecTree(t, randomVectors(14, 50, 3), 8)
+	if out, _ := tr.BatchKNN(nil, 5); len(out) != 0 {
+		t.Error("empty batch returned results")
+	}
+	if out, _ := tr.BatchKNN(randomVectors(15, 2, 3), 0); out[0] != nil {
+		t.Error("k=0 returned results")
+	}
+	empty, err := New[vec.Vector](euclid, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := empty.BatchKNN(randomVectors(16, 2, 3), 3)
+	if out[0] != nil || out[1] != nil {
+		t.Error("empty tree returned results")
+	}
+}

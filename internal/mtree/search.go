@@ -1,0 +1,257 @@
+package mtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Result is one answer of a similarity search.
+type Result[T any] struct {
+	Obj  T
+	Dist float64
+}
+
+// Range returns every stored object within eps of q, sorted by distance.
+// Subtrees and leaf entries are pruned with the triangle inequality over
+// covering radii and cached parent distances, so many distance calculations
+// are avoided.
+func (t *Tree[T]) Range(q T, eps float64) []Result[T] {
+	var out []Result[T]
+	t.rangeSearch(t.root, q, eps, math.NaN(), &out)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}
+
+// rangeSearch descends n, where dQParent is the (possibly unknown)
+// distance from q to n's routing object.
+func (t *Tree[T]) rangeSearch(n *node[T], q T, eps, dQParent float64, out *[]Result[T]) {
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			// If |d(q,Op) - d(O,Op)| > eps then d(q,O) > eps: skip
+			// without computing (the leaf-level parent-distance prune).
+			if !math.IsNaN(dQParent) && !math.IsNaN(e.distParent) &&
+				math.Abs(dQParent-e.distParent) > eps {
+				continue
+			}
+			if d := t.d(q, e.obj); d <= eps {
+				*out = append(*out, Result[T]{Obj: e.obj, Dist: d})
+			}
+		}
+		return
+	}
+	for i := range n.children {
+		c := &n.children[i]
+		if !math.IsNaN(dQParent) && !math.IsNaN(c.distParent) &&
+			math.Abs(dQParent-c.distParent) > eps+c.radius {
+			continue // subtree provably outside the query ball
+		}
+		d := t.d(q, c.obj)
+		if d <= eps+c.radius {
+			t.rangeSearch(c.child, q, eps, d, out)
+		}
+	}
+}
+
+// knnItem is a priority-queue element for best-first k-NN traversal.
+type knnItem[T any] struct {
+	n     *node[T]
+	bound float64 // lower bound on the distance from q to anything in n
+	dQObj float64 // distance from q to n's routing object (parent for children)
+}
+
+type knnQueue[T any] []knnItem[T]
+
+func (h knnQueue[T]) Len() int           { return len(h) }
+func (h knnQueue[T]) Less(i, j int) bool { return h[i].bound < h[j].bound }
+func (h knnQueue[T]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *knnQueue[T]) Push(x any)        { *h = append(*h, x.(knnItem[T])) }
+func (h *knnQueue[T]) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// KNN returns the k nearest stored objects to q in ascending distance
+// order, using best-first traversal with covering-radius lower bounds (the
+// metric-space analogue of the Hjaltason–Samet algorithm).
+func (t *Tree[T]) KNN(q T, k int) []Result[T] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	results := make([]Result[T], 0, k)
+	worst := func() float64 {
+		if len(results) < k {
+			return math.Inf(1)
+		}
+		return results[len(results)-1].Dist
+	}
+	consider := func(obj T, d float64) {
+		if d > worst() {
+			return
+		}
+		i := sort.Search(len(results), func(i int) bool { return results[i].Dist > d })
+		results = append(results, Result[T]{})
+		copy(results[i+1:], results[i:])
+		results[i] = Result[T]{Obj: obj, Dist: d}
+		if len(results) > k {
+			results = results[:k]
+		}
+	}
+
+	pq := &knnQueue[T]{{n: t.root, bound: 0, dQObj: math.NaN()}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(knnItem[T])
+		if it.bound > worst() {
+			break // everything remaining is farther than the current k-th
+		}
+		if it.n.leaf {
+			for i := range it.n.entries {
+				e := &it.n.entries[i]
+				if !math.IsNaN(it.dQObj) && !math.IsNaN(e.distParent) &&
+					math.Abs(it.dQObj-e.distParent) > worst() {
+					continue
+				}
+				consider(e.obj, t.d(q, e.obj))
+			}
+			continue
+		}
+		for i := range it.n.children {
+			c := &it.n.children[i]
+			if !math.IsNaN(it.dQObj) && !math.IsNaN(c.distParent) &&
+				math.Abs(it.dQObj-c.distParent)-c.radius > worst() {
+				continue
+			}
+			d := t.d(q, c.obj)
+			bound := d - c.radius
+			if bound < 0 {
+				bound = 0
+			}
+			if bound <= worst() {
+				heap.Push(pq, knnItem[T]{n: c.child, bound: bound, dQObj: d})
+			}
+		}
+	}
+	return results
+}
+
+// BatchStats reports the cost of a batched similarity query.
+type BatchStats struct {
+	// DistCalcs counts object/routing distance calculations during the
+	// traversal.
+	DistCalcs int64
+	// MatrixCalcs counts the m(m-1)/2 inter-query distances.
+	MatrixCalcs int64
+	// AvoidTries counts triangle-inequality evaluations.
+	AvoidTries int64
+	// Avoided counts distance calculations skipped via Lemma 1/2.
+	Avoided int64
+}
+
+// BatchRange evaluates range queries with radius eps for all query objects
+// in a single traversal: each node is visited at most once and processed
+// for every query it is relevant for (the I/O-sharing idea of §5.1), and
+// distances from earlier queries to the same object avoid calculations for
+// later queries via Lemmas 1 and 2 (§5.2), here applied to a general metric
+// index. Results are per query, sorted by distance.
+func (t *Tree[T]) BatchRange(queries []T, eps float64) ([][]Result[T], BatchStats) {
+	m := len(queries)
+	out := make([][]Result[T], m)
+	if m == 0 {
+		return out, BatchStats{}
+	}
+	var stats BatchStats
+	before := t.calcs
+
+	// Inter-query distance matrix.
+	matrix := make([][]float64, m)
+	for i := range matrix {
+		matrix[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := t.d(queries[i], queries[j])
+			matrix[i][j], matrix[j][i] = d, d
+			stats.MatrixCalcs++
+		}
+	}
+
+	active := make([]int, m)
+	for i := range active {
+		active[i] = i
+	}
+	t.batchWalk(t.root, queries, eps, matrix, active, out, &stats)
+	for i := range out {
+		sort.SliceStable(out[i], func(a, b int) bool { return out[i][a].Dist < out[i][b].Dist })
+	}
+	stats.DistCalcs = t.calcs - before - stats.MatrixCalcs
+	return out, stats
+}
+
+// knownPair records a distance already calculated from the current object
+// to the query at index qi.
+type knownPair struct {
+	qi int
+	d  float64
+}
+
+// batchWalk visits n once for the still-active queries.
+func (t *Tree[T]) batchWalk(n *node[T], queries []T, eps float64, matrix [][]float64, active []int, out [][]Result[T], stats *BatchStats) {
+	knowns := make([]knownPair, 0, len(active))
+	if n.leaf {
+		for e := range n.entries {
+			obj := n.entries[e].obj
+			knowns = knowns[:0]
+			for _, qi := range active {
+				if avoidWith(knowns, matrix[qi], eps, stats) {
+					continue
+				}
+				d := t.d(queries[qi], obj)
+				knowns = append(knowns, knownPair{qi, d})
+				if d <= eps {
+					out[qi] = append(out[qi], Result[T]{Obj: obj, Dist: d})
+				}
+			}
+		}
+		return
+	}
+	for i := range n.children {
+		c := &n.children[i]
+		next := make([]int, 0, len(active))
+		knowns = knowns[:0]
+		for _, qi := range active {
+			// Avoidance on the routing object with the enlarged radius
+			// eps + c.radius: if the lower bound on d(q_i, c.obj)
+			// exceeds it, the whole subtree is irrelevant for q_i.
+			if avoidWith(knowns, matrix[qi], eps+c.radius, stats) {
+				continue
+			}
+			d := t.d(queries[qi], c.obj)
+			knowns = append(knowns, knownPair{qi, d})
+			if d <= eps+c.radius {
+				next = append(next, qi)
+			}
+		}
+		if len(next) > 0 {
+			t.batchWalk(c.child, queries, eps, matrix, next, out, stats)
+		}
+	}
+}
+
+// maxAvoidProbes bounds the known distances consulted per avoidance
+// decision, keeping batch traversal linear in the number of queries.
+const maxAvoidProbes = 8
+
+// avoidWith applies Lemmas 1 and 2 over already-known distances: if some
+// known d(Q_j, O) proves d(Q_i, O) > threshold, the calculation for Q_i is
+// avoidable.
+func avoidWith(knowns []knownPair, row []float64, threshold float64, stats *BatchStats) bool {
+	if len(knowns) > maxAvoidProbes {
+		knowns = knowns[:maxAvoidProbes]
+	}
+	for _, k := range knowns {
+		stats.AvoidTries++
+		if math.Abs(k.d-row[k.qi]) > threshold {
+			stats.Avoided++
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,309 @@
+// Package parallel simulates the shared-nothing parallel query processor of
+// §5.3: the database is declustered over s servers, each holding its
+// partition on a private simulated disk with a private engine, and every
+// similarity query runs on all servers concurrently against s-times smaller
+// data. Per-query answers are merged, which is correct because every
+// server returns (at least) its local top answers and the global result is
+// contained in their union.
+//
+// The paper's headline effect — parallel speed-up beyond s — comes from
+// running blocks of m·s queries (s-times the memory buffers s-times the
+// answers); the benchmark harness drives that, this package provides the
+// machinery and per-server cost accounting.
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"metricdb/internal/engine"
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+	"metricdb/internal/scan"
+	"metricdb/internal/store"
+	"metricdb/internal/vafile"
+	"metricdb/internal/vec"
+	"metricdb/internal/xtree"
+)
+
+// Strategy selects how items are declustered over the servers.
+type Strategy int
+
+// Declustering strategies (a future-work topic of the paper, exposed for
+// the ablation benchmarks).
+const (
+	// RoundRobin deals items to servers in turn — balanced and
+	// distribution-agnostic, the default.
+	RoundRobin Strategy = iota
+	// RandomAssign places each item on a uniformly random server.
+	RandomAssign
+	// RangePartition sorts by the first coordinate and assigns contiguous
+	// chunks — spatially clustered partitions, the adversarial case for
+	// load balance.
+	RangePartition
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case RandomAssign:
+		return "random"
+	case RangePartition:
+		return "range"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Decluster splits items over s servers according to the strategy. Items
+// keep their global IDs.
+func Decluster(items []store.Item, s int, strategy Strategy, seed int64) ([][]store.Item, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("parallel: need at least one server, got %d", s)
+	}
+	parts := make([][]store.Item, s)
+	switch strategy {
+	case RoundRobin:
+		for i, it := range items {
+			parts[i%s] = append(parts[i%s], it)
+		}
+	case RandomAssign:
+		rng := rand.New(rand.NewSource(seed))
+		for _, it := range items {
+			k := rng.Intn(s)
+			parts[k] = append(parts[k], it)
+		}
+	case RangePartition:
+		sorted := append([]store.Item(nil), items...)
+		sort.Slice(sorted, func(i, j int) bool {
+			a, b := sorted[i].Vec, sorted[j].Vec
+			if len(a) > 0 && len(b) > 0 && a[0] != b[0] {
+				return a[0] < b[0]
+			}
+			return sorted[i].ID < sorted[j].ID
+		})
+		per := (len(sorted) + s - 1) / s
+		for i, it := range sorted {
+			k := i / per
+			if k >= s {
+				k = s - 1
+			}
+			parts[k] = append(parts[k], it)
+		}
+	default:
+		return nil, fmt.Errorf("parallel: unknown strategy %v", strategy)
+	}
+	return parts, nil
+}
+
+// EngineKind selects the per-server physical organization.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// ScanEngine gives each server a sequential scan.
+	ScanEngine EngineKind = iota
+	// XTreeEngine gives each server an X-tree.
+	XTreeEngine
+	// VAFileEngine gives each server a vector-approximation file.
+	VAFileEngine
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	Servers      int
+	Strategy     Strategy
+	Seed         int64
+	Engine       EngineKind
+	Dim          int
+	PageCapacity int
+	// BufferPages per server; negative selects the 10 % default, zero
+	// disables buffering.
+	BufferPages int
+	Metric      vec.Metric
+	// Avoidance is forwarded to each server's processor.
+	Avoidance msq.AvoidanceMode
+}
+
+// server is one shared-nothing node.
+type server struct {
+	proc *msq.Processor
+	eng  engine.Engine
+}
+
+// Cluster is a set of shared-nothing servers answering similarity queries
+// in parallel.
+type Cluster struct {
+	servers []*server
+	metric  vec.Metric
+}
+
+// New declusters items and builds one engine and processor per server.
+func New(items []store.Item, cfg Config) (*Cluster, error) {
+	if cfg.Metric == nil {
+		cfg.Metric = vec.Euclidean{}
+	}
+	if cfg.PageCapacity < 1 {
+		return nil, fmt.Errorf("parallel: page capacity must be >= 1, got %d", cfg.PageCapacity)
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("parallel: dimension must be >= 1, got %d", cfg.Dim)
+	}
+	parts, err := Decluster(items, cfg.Servers, cfg.Strategy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{metric: cfg.Metric, servers: make([]*server, cfg.Servers)}
+	for i, part := range parts {
+		var eng engine.Engine
+		switch cfg.Engine {
+		case ScanEngine:
+			buf := cfg.BufferPages
+			if buf < 0 {
+				buf = store.DefaultBufferPages((len(part) + cfg.PageCapacity - 1) / cfg.PageCapacity)
+			}
+			eng, err = scan.New(part, cfg.PageCapacity, buf)
+		case VAFileEngine:
+			eng, err = vafile.New(part, vafile.Config{
+				PageCapacity: cfg.PageCapacity,
+				BufferPages:  cfg.BufferPages,
+				Metric:       cfg.Metric,
+			})
+		case XTreeEngine:
+			xcfg := xtree.DefaultConfig(cfg.Dim)
+			xcfg.LeafCapacity = cfg.PageCapacity
+			xcfg.BufferPages = cfg.BufferPages
+			xcfg.Metric = cfg.Metric
+			eng, err = xtree.Bulk(part, cfg.Dim, xcfg)
+		default:
+			return nil, fmt.Errorf("parallel: unknown engine kind %d", cfg.Engine)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("parallel: server %d: %w", i, err)
+		}
+		// Each server gets its own counting metric so per-server CPU
+		// cost can be reported.
+		proc, err := msq.New(eng, vec.NewCounting(cfg.Metric), msq.Options{Avoidance: cfg.Avoidance})
+		if err != nil {
+			return nil, fmt.Errorf("parallel: server %d: %w", i, err)
+		}
+		c.servers[i] = &server{proc: proc, eng: eng}
+	}
+	return c, nil
+}
+
+// Servers returns the number of servers.
+func (c *Cluster) Servers() int { return len(c.servers) }
+
+// ServerStats is the per-server cost of one cluster operation.
+type ServerStats struct {
+	Query msq.Stats
+	IO    store.IOStats
+}
+
+// Report carries per-server costs of one parallel operation.
+type Report struct {
+	PerServer []ServerStats
+}
+
+// Sum returns the total work across servers (throughput view).
+func (r Report) Sum() ServerStats {
+	var out ServerStats
+	for _, s := range r.PerServer {
+		out.Query = out.Query.Add(s.Query)
+		out.IO = out.IO.Add(s.IO)
+	}
+	return out
+}
+
+// MaxPagesRead returns the page count of the busiest server — the
+// latency-determining quantity in a shared-nothing setting.
+func (r Report) MaxPagesRead() int64 {
+	var m int64
+	for _, s := range r.PerServer {
+		if s.Query.PagesRead > m {
+			m = s.Query.PagesRead
+		}
+	}
+	return m
+}
+
+// MaxDistCalcs returns the distance-calculation count (including matrix) of
+// the busiest server.
+func (r Report) MaxDistCalcs() int64 {
+	var m int64
+	for _, s := range r.PerServer {
+		if c := s.Query.TotalDistCalcs(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MultiQueryAll evaluates the batch to completion on every server in
+// parallel and merges the per-server answers into global answers, aligned
+// with queries.
+func (c *Cluster) MultiQueryAll(queries []msq.Query) ([]*query.AnswerList, Report, error) {
+	report := Report{PerServer: make([]ServerStats, len(c.servers))}
+	perServer := make([][]*query.AnswerList, len(c.servers))
+	errs := make([]error, len(c.servers))
+
+	var wg sync.WaitGroup
+	for i, srv := range c.servers {
+		wg.Add(1)
+		go func(i int, srv *server) {
+			defer wg.Done()
+			ioBefore := srv.eng.Pager().Disk().Stats()
+			res, st, err := srv.proc.MultiQuery(queries)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			perServer[i] = res
+			report.PerServer[i] = ServerStats{
+				Query: st,
+				IO:    diffIO(srv.eng.Pager().Disk().Stats(), ioBefore),
+			}
+		}(i, srv)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, report, fmt.Errorf("parallel: server %d: %w", i, err)
+		}
+	}
+
+	merged := make([]*query.AnswerList, len(queries))
+	for qi := range queries {
+		l := query.NewAnswerList(queries[qi].Type)
+		for si := range c.servers {
+			for _, a := range perServer[si][qi].Answers() {
+				l.Consider(a.ID, a.Dist)
+			}
+		}
+		merged[qi] = l
+	}
+	return merged, report, nil
+}
+
+// Single evaluates one similarity query on all servers and merges the
+// results.
+func (c *Cluster) Single(q vec.Vector, t query.Type) (*query.AnswerList, Report, error) {
+	res, rep, err := c.MultiQueryAll([]msq.Query{{ID: 0, Vec: q, Type: t}})
+	if err != nil {
+		return nil, rep, err
+	}
+	return res[0], rep, nil
+}
+
+func diffIO(after, before store.IOStats) store.IOStats {
+	return store.IOStats{
+		Reads:     after.Reads - before.Reads,
+		SeqReads:  after.SeqReads - before.SeqReads,
+		RandReads: after.RandReads - before.RandReads,
+	}
+}

@@ -1,0 +1,125 @@
+package query
+
+import (
+	"sort"
+
+	"metricdb/internal/store"
+)
+
+// Answer is one element of a similarity query result: an item and its
+// distance from the query object.
+type Answer struct {
+	ID   store.ItemID
+	Dist float64
+}
+
+// AnswerList accumulates answers for one similarity query, implementing the
+// insert / remove_last_element / adapt_query_dist logic of Figure 1.
+//
+// For bounded kinds (k-NN and bounded k-NN) the list keeps the k best
+// answers in ascending distance order and shrinks the query distance as it
+// fills. For range queries the query distance is constant (ε) and answers
+// are kept unsorted until Answers is called, which avoids the O(n²) cost of
+// sorted insertion into potentially large range results.
+//
+// Ties at equal distance are broken by ItemID so that results are
+// deterministic across engines, which the cross-engine equivalence tests
+// rely on.
+type AnswerList struct {
+	typ     Type
+	answers []Answer
+	sorted  bool
+}
+
+// NewAnswerList returns an empty answer list for the given query type.
+func NewAnswerList(t Type) *AnswerList {
+	l := &AnswerList{typ: t, sorted: true}
+	if t.Bounded() && t.Cardinality < 1<<20 {
+		l.answers = make([]Answer, 0, t.Cardinality)
+	}
+	return l
+}
+
+// less orders answers by (distance, ID).
+func less(a, b Answer) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// Consider offers an answer to the list. It returns true if the answer
+// currently qualifies (dist <= QueryDist()) and was inserted. A bounded
+// list that is already full drops its worst element, which tightens
+// QueryDist — the adapt_query_dist step.
+func (l *AnswerList) Consider(id store.ItemID, dist float64) bool {
+	if dist > l.QueryDist() {
+		return false
+	}
+	a := Answer{ID: id, Dist: dist}
+	if !l.typ.Bounded() {
+		l.answers = append(l.answers, a)
+		l.sorted = len(l.answers) <= 1
+		return true
+	}
+	// Bounded: sorted insertion, then trim to cardinality.
+	i := sort.Search(len(l.answers), func(i int) bool { return less(a, l.answers[i]) })
+	l.answers = append(l.answers, Answer{})
+	copy(l.answers[i+1:], l.answers[i:])
+	l.answers[i] = a
+	if len(l.answers) > l.typ.Cardinality {
+		l.answers = l.answers[:l.typ.Cardinality]
+	}
+	return true
+}
+
+// QueryDist returns the current pruning distance: any object farther away
+// can neither enter the answers nor force out a current answer. For a range
+// query this is always ε; for bounded kinds it is ε until the list is full
+// and the distance of the current worst answer afterwards.
+func (l *AnswerList) QueryDist() float64 {
+	if !l.typ.Bounded() || len(l.answers) < l.typ.Cardinality {
+		return l.typ.Range
+	}
+	return l.answers[len(l.answers)-1].Dist
+}
+
+// Full reports whether a bounded list has reached its cardinality. Range
+// lists are never full.
+func (l *AnswerList) Full() bool {
+	return l.typ.Bounded() && len(l.answers) >= l.typ.Cardinality
+}
+
+// Len returns the number of answers collected so far.
+func (l *AnswerList) Len() int { return len(l.answers) }
+
+// Type returns the query type this list was created for.
+func (l *AnswerList) Type() Type { return l.typ }
+
+// Answers returns the answers in ascending (distance, ID) order. The
+// returned slice is owned by the list; callers must not modify it.
+func (l *AnswerList) Answers() []Answer {
+	if !l.sorted {
+		sort.Slice(l.answers, func(i, j int) bool { return less(l.answers[i], l.answers[j]) })
+		l.sorted = true
+	}
+	return l.answers
+}
+
+// Clone returns a deep copy of the list, used when buffering partial
+// answers between incremental multi-query calls.
+func (l *AnswerList) Clone() *AnswerList {
+	c := &AnswerList{typ: l.typ, sorted: l.sorted}
+	c.answers = append([]Answer(nil), l.answers...)
+	return c
+}
+
+// IDs returns just the item IDs of the answers, in result order.
+func (l *AnswerList) IDs() []store.ItemID {
+	as := l.Answers()
+	ids := make([]store.ItemID, len(as))
+	for i, a := range as {
+		ids[i] = a.ID
+	}
+	return ids
+}

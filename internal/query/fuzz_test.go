@@ -1,0 +1,64 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"metricdb/internal/store"
+)
+
+// FuzzAnswerListInvariants drives an AnswerList with arbitrary byte-derived
+// operation streams and checks its structural invariants: sorted output,
+// bounded cardinality, monotone query distance, and acceptance consistency.
+func FuzzAnswerListInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), uint8(0))
+	f.Add([]byte{255, 0, 255, 0, 10, 20}, uint8(1), uint8(1))
+	f.Add([]byte{9, 9, 9, 9}, uint8(5), uint8(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, kindRaw uint8) {
+		k := int(kRaw%16) + 1
+		var typ Type
+		switch kindRaw % 3 {
+		case 0:
+			typ = NewKNN(k)
+		case 1:
+			typ = NewRange(float64(kRaw) / 16)
+		default:
+			typ = NewBoundedKNN(k, float64(kRaw)/8)
+		}
+		l := NewAnswerList(typ)
+		prevQD := l.QueryDist()
+		for i, b := range data {
+			dist := float64(b) / 32
+			accepted := l.Consider(store.ItemID(i), dist)
+			if accepted && dist > prevQD {
+				t.Fatalf("accepted %v beyond previous query distance %v", dist, prevQD)
+			}
+			qd := l.QueryDist()
+			if qd > prevQD {
+				t.Fatalf("query distance grew: %v -> %v", prevQD, qd)
+			}
+			prevQD = qd
+		}
+		if typ.Bounded() && l.Len() > typ.Cardinality {
+			t.Fatalf("bounded list holds %d answers, cap %d", l.Len(), typ.Cardinality)
+		}
+		answers := l.Answers()
+		for i := 1; i < len(answers); i++ {
+			if answers[i].Dist < answers[i-1].Dist {
+				t.Fatal("answers not sorted")
+			}
+			if answers[i].Dist == answers[i-1].Dist && answers[i].ID <= answers[i-1].ID {
+				t.Fatal("tie-break ordering violated")
+			}
+		}
+		for _, a := range answers {
+			if math.IsNaN(a.Dist) {
+				t.Fatal("NaN distance stored")
+			}
+			if typ.Kind != KNN && a.Dist > typ.Range {
+				t.Fatalf("answer at %v beyond range %v", a.Dist, typ.Range)
+			}
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"metricdb/internal/store"
+)
+
+func TestTypeConstructors(t *testing.T) {
+	r := NewRange(0.5)
+	if r.Kind != Range || r.Range != 0.5 || r.Bounded() {
+		t.Errorf("NewRange = %+v", r)
+	}
+	k := NewKNN(10)
+	if k.Kind != KNN || k.Cardinality != 10 || !math.IsInf(k.Range, 1) || !k.Bounded() {
+		t.Errorf("NewKNN = %+v", k)
+	}
+	b := NewBoundedKNN(5, 2)
+	if b.Kind != BoundedKNN || b.Cardinality != 5 || b.Range != 2 || !b.Bounded() {
+		t.Errorf("NewBoundedKNN = %+v", b)
+	}
+	for _, typ := range []Type{r, k, b} {
+		if err := typ.Validate(); err != nil {
+			t.Errorf("%v invalid: %v", typ, err)
+		}
+	}
+}
+
+func TestTypeValidateRejects(t *testing.T) {
+	bad := []Type{
+		NewRange(-1),
+		NewRange(math.NaN()),
+		NewKNN(0),
+		NewKNN(-3),
+		NewBoundedKNN(0, 1),
+		NewBoundedKNN(3, -1),
+		{Kind: Kind(42)},
+	}
+	for _, typ := range bad {
+		if err := typ.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid type", typ)
+		}
+	}
+}
+
+func TestTypeAndKindStrings(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{NewRange(0.5), "range(ε=0.5)"},
+		{NewKNN(10), "knn(k=10)"},
+		{NewBoundedKNN(3, 1), "bounded-knn(k=3, ε=1)"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if Kind(42).String() == "" || !strings.Contains(Type{Kind: Kind(42)}.String(), "42") {
+		t.Error("unknown kind has no diagnostic string")
+	}
+	if Range.String() != "range" || KNN.String() != "knn" || BoundedKNN.String() != "bounded-knn" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestInitialQueryDist(t *testing.T) {
+	if got := NewRange(2).InitialQueryDist(); got != 2 {
+		t.Errorf("range initial dist = %v", got)
+	}
+	if got := NewKNN(3).InitialQueryDist(); !math.IsInf(got, 1) {
+		t.Errorf("knn initial dist = %v", got)
+	}
+	if got := NewBoundedKNN(3, 1.5).InitialQueryDist(); got != 1.5 {
+		t.Errorf("bounded-knn initial dist = %v", got)
+	}
+}
+
+func TestAnswerListKNN(t *testing.T) {
+	l := NewAnswerList(NewKNN(3))
+	if !math.IsInf(l.QueryDist(), 1) {
+		t.Error("empty kNN list should not prune")
+	}
+
+	dists := []float64{5, 1, 3, 2, 4}
+	for i, d := range dists {
+		l.Consider(store.ItemID(i), d)
+	}
+	if l.Len() != 3 || !l.Full() {
+		t.Fatalf("Len = %d, Full = %v", l.Len(), l.Full())
+	}
+	got := l.Answers()
+	wantDists := []float64{1, 2, 3}
+	for i, a := range got {
+		if a.Dist != wantDists[i] {
+			t.Errorf("answer %d dist = %v, want %v", i, a.Dist, wantDists[i])
+		}
+	}
+	if l.QueryDist() != 3 {
+		t.Errorf("QueryDist = %v, want 3 (distance of 3rd NN)", l.QueryDist())
+	}
+	// An answer beyond the adapted query distance is rejected.
+	if l.Consider(99, 3.5) {
+		t.Error("answer beyond query distance accepted")
+	}
+}
+
+func TestAnswerListRange(t *testing.T) {
+	l := NewAnswerList(NewRange(2))
+	accepted := 0
+	for i, d := range []float64{0.5, 2.0, 2.1, 1.0, 3.0} {
+		if l.Consider(store.ItemID(i), d) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Errorf("accepted %d answers, want 3 (<= ε including boundary)", accepted)
+	}
+	if l.Full() {
+		t.Error("range list reported Full")
+	}
+	if l.QueryDist() != 2 {
+		t.Errorf("range QueryDist = %v, want constant ε", l.QueryDist())
+	}
+	got := l.Answers()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Dist < got[j].Dist }) {
+		t.Errorf("range answers not sorted: %v", got)
+	}
+}
+
+func TestAnswerListBoundedKNN(t *testing.T) {
+	l := NewAnswerList(NewBoundedKNN(2, 1.0))
+	l.Consider(1, 0.5)
+	if l.Consider(2, 1.5) {
+		t.Error("answer beyond ε accepted by bounded kNN")
+	}
+	l.Consider(3, 0.9)
+	l.Consider(4, 0.1)
+	ids := l.IDs()
+	if len(ids) != 2 || ids[0] != 4 || ids[1] != 1 {
+		t.Errorf("IDs = %v, want [4 1]", ids)
+	}
+	if l.QueryDist() != 0.5 {
+		t.Errorf("QueryDist = %v, want 0.5", l.QueryDist())
+	}
+}
+
+func TestAnswerListTieBreaking(t *testing.T) {
+	l := NewAnswerList(NewKNN(2))
+	l.Consider(7, 1.0)
+	l.Consider(3, 1.0)
+	l.Consider(5, 1.0)
+	ids := l.IDs()
+	if ids[0] != 3 || ids[1] != 5 {
+		t.Errorf("tie-broken IDs = %v, want [3 5]", ids)
+	}
+}
+
+func TestAnswerListClone(t *testing.T) {
+	l := NewAnswerList(NewKNN(2))
+	l.Consider(1, 1)
+	c := l.Clone()
+	c.Consider(2, 0.5)
+	if l.Len() != 1 {
+		t.Error("Clone shares answer storage")
+	}
+	if c.Len() != 2 {
+		t.Error("Clone lost answers")
+	}
+	if c.Type() != l.Type() {
+		t.Error("Clone changed the type")
+	}
+}
+
+// Property: an AnswerList fed a random stream produces exactly the k nearest
+// by (dist, id), matching an oracle that sorts the full stream.
+func TestAnswerListMatchesOracle(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%10) + 1
+		n := 50
+		type pair struct {
+			id store.ItemID
+			d  float64
+		}
+		stream := make([]pair, n)
+		for i := range stream {
+			stream[i] = pair{store.ItemID(i), float64(rng.Intn(20))} // ints force ties
+		}
+
+		l := NewAnswerList(NewKNN(k))
+		for _, p := range stream {
+			l.Consider(p.id, p.d)
+		}
+
+		oracle := append([]pair(nil), stream...)
+		sort.Slice(oracle, func(i, j int) bool {
+			if oracle[i].d != oracle[j].d {
+				return oracle[i].d < oracle[j].d
+			}
+			return oracle[i].id < oracle[j].id
+		})
+		got := l.Answers()
+		if len(got) != k {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != oracle[i].id || got[i].Dist != oracle[i].d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QueryDist never increases as answers are considered, which the
+// page-pruning and avoidance logic depend on.
+func TestQueryDistMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewAnswerList(NewKNN(int(rng.Int63n(8)) + 1))
+		prev := l.QueryDist()
+		for i := 0; i < 100; i++ {
+			l.Consider(store.ItemID(i), rng.Float64()*10)
+			cur := l.QueryDist()
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

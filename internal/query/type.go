@@ -1,0 +1,114 @@
+// Package query models similarity queries per Definition 1 of the paper:
+// a query type T consists of a range, a cardinality, and a kind, and the
+// classic query types are specializations:
+//
+//	range query (Def. 2):   T.range = ε,   T.cardinality = ∞, kind "range"
+//	k-NN query (Def. 3):    T.range = +∞,  T.cardinality = k, kind "knn"
+//	bounded k-NN:           T.range = ε,   T.cardinality = k, kind "bounded-knn"
+//
+// The package also provides the answer list used by the query processor,
+// which implements the Answers.insert / remove_last_element /
+// adapt_query_dist steps of Figure 1.
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes how the range and cardinality conditions combine.
+type Kind int
+
+// The supported query kinds.
+const (
+	// Range returns every object within distance Range of the query.
+	Range Kind = iota
+	// KNN returns the Cardinality nearest objects.
+	KNN
+	// BoundedKNN returns the Cardinality nearest objects among those
+	// within distance Range ("the k nearest neighbors but only those
+	// within a specified range", §2).
+	BoundedKNN
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Range:
+		return "range"
+	case KNN:
+		return "knn"
+	case BoundedKNN:
+		return "bounded-knn"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Type is the specification T of a similarity query.
+type Type struct {
+	Kind        Kind
+	Range       float64 // maximum distance between query and answer
+	Cardinality int     // maximum number of answers (ignored for Range kind)
+}
+
+// NewRange returns a range query type with radius eps.
+func NewRange(eps float64) Type {
+	return Type{Kind: Range, Range: eps, Cardinality: math.MaxInt}
+}
+
+// NewKNN returns a k-nearest-neighbor query type.
+func NewKNN(k int) Type {
+	return Type{Kind: KNN, Range: math.Inf(1), Cardinality: k}
+}
+
+// NewBoundedKNN returns a k-nearest-neighbor query type restricted to
+// answers within distance eps.
+func NewBoundedKNN(k int, eps float64) Type {
+	return Type{Kind: BoundedKNN, Range: eps, Cardinality: k}
+}
+
+// Validate reports whether the type is well formed.
+func (t Type) Validate() error {
+	switch t.Kind {
+	case Range:
+		if t.Range < 0 || math.IsNaN(t.Range) {
+			return fmt.Errorf("query: range must be >= 0, got %v", t.Range)
+		}
+	case KNN:
+		if t.Cardinality <= 0 {
+			return fmt.Errorf("query: k must be positive, got %d", t.Cardinality)
+		}
+	case BoundedKNN:
+		if t.Cardinality <= 0 {
+			return fmt.Errorf("query: k must be positive, got %d", t.Cardinality)
+		}
+		if t.Range < 0 || math.IsNaN(t.Range) {
+			return fmt.Errorf("query: range must be >= 0, got %v", t.Range)
+		}
+	default:
+		return fmt.Errorf("query: unknown kind %v", t.Kind)
+	}
+	return nil
+}
+
+// Bounded reports whether the answer cardinality is limited.
+func (t Type) Bounded() bool { return t.Kind != Range }
+
+// InitialQueryDist returns the pruning distance before any answers are
+// known: T.range, which is +∞ for a pure k-NN query.
+func (t Type) InitialQueryDist() float64 { return t.Range }
+
+// String renders the type compactly, e.g. "knn(k=10)" or "range(ε=0.5)".
+func (t Type) String() string {
+	switch t.Kind {
+	case Range:
+		return fmt.Sprintf("range(ε=%g)", t.Range)
+	case KNN:
+		return fmt.Sprintf("knn(k=%d)", t.Cardinality)
+	case BoundedKNN:
+		return fmt.Sprintf("bounded-knn(k=%d, ε=%g)", t.Cardinality, t.Range)
+	default:
+		return t.Kind.String()
+	}
+}

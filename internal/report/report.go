@@ -1,0 +1,132 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// one "figure" per experiment, mirroring the layout of the paper's
+// evaluation section.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Figure is a set of named series over a common x-axis, corresponding to
+// one of the paper's figures.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XVals  []float64
+	Series []Series
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	// Y holds one value per Figure.XVals entry; NaN renders as "-".
+	Y []float64
+}
+
+// AddSeries appends a series, validating its length.
+func (f *Figure) AddSeries(name string, y []float64) error {
+	if len(y) != len(f.XVals) {
+		return fmt.Errorf("report: series %q has %d points, figure has %d x-values", name, len(y), len(f.XVals))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+	return nil
+}
+
+// WriteTable renders the figure as an aligned text table.
+func (f *Figure) WriteTable(w io.Writer) error {
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := make([][]string, len(f.XVals))
+	for i, x := range f.XVals {
+		row := make([]string, 0, len(headers))
+		row = append(row, formatNum(x))
+		for _, s := range f.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		rows[i] = row
+	}
+
+	widths := make([]int, len(headers))
+	for c, h := range headers {
+		widths[c] = len(h)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "  [%s]", f.YLabel)
+	}
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the figure as CSV with a header row.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for i, x := range f.XVals {
+		b.WriteString(formatNum(x))
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			b.WriteString(formatNum(s.Y[i]))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatNum(v float64) string {
+	if v != v { // NaN
+		return "-"
+	}
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

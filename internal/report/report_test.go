@@ -1,0 +1,101 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure(t *testing.T) *Figure {
+	t.Helper()
+	f := &Figure{
+		Title:  "Figure 7: avg I/O cost per query",
+		XLabel: "m",
+		YLabel: "pages",
+		XVals:  []float64{1, 10, 100},
+	}
+	if err := f.AddSeries("scan", []float64{128, 12.8, 1.28}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSeries("xtree", []float64{30, 10, math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAddSeriesValidation(t *testing.T) {
+	f := &Figure{XVals: []float64{1, 2}}
+	if err := f.AddSeries("bad", []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	f := sampleFigure(t)
+	var b strings.Builder
+	if err := f.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 7", "[pages]", "m", "scan", "xtree", "12.8", "128", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f := sampleFigure(t)
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "m,scan,xtree" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,128,30" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[3], ",-") {
+		t.Errorf("NaN row = %q", lines[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	f := &Figure{XLabel: `m, "count"`, XVals: []float64{1}}
+	if err := f.AddSeries("a,b", []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), `"m, ""count""","a,b"`) {
+		t.Errorf("escaping wrong: %q", b.String())
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		1.5:     "1.5",
+		-3:      "-3",
+		0.12345: "0.1235",
+	}
+	for in, want := range cases {
+		if got := formatNum(in); got != want {
+			t.Errorf("formatNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatNum(math.NaN()); got != "-" {
+		t.Errorf("NaN = %q", got)
+	}
+}

@@ -1,0 +1,113 @@
+// Package scan implements the sequential-scan engine: every data page is
+// relevant for every query and pages are processed in physical order, so
+// all disk I/O is sequential. In high-dimensional spaces this is often the
+// most efficient single-query strategy, and it profits maximally from
+// multiple similarity queries because relevant_pages(Q1) = ... =
+// relevant_pages(Qm) = all pages (§5.1 of the paper: the I/O speed-up
+// factor is exactly m).
+package scan
+
+import (
+	"fmt"
+	"math"
+
+	"metricdb/internal/engine"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// Engine is a sequential-scan engine over a paged database.
+type Engine struct {
+	pager    *store.Pager
+	numItems int
+	pageLens []int
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// New builds a scan engine over items, paginating them into pages of
+// pageCapacity items on a fresh simulated disk with an LRU buffer of
+// bufferPages pages (0 disables buffering).
+func New(items []store.Item, pageCapacity, bufferPages int) (*Engine, error) {
+	if bufferPages < 0 {
+		return nil, fmt.Errorf("scan: bufferPages must be >= 0, got %d", bufferPages)
+	}
+	pages, err := store.Paginate(items, pageCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	disk, err := store.NewDisk(pages)
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	var buf *store.Buffer
+	if bufferPages > 0 {
+		if buf, err = store.NewBuffer(bufferPages); err != nil {
+			return nil, fmt.Errorf("scan: %w", err)
+		}
+	}
+	pager, err := store.NewPager(disk, buf)
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	lens := make([]int, len(pages))
+	for i, p := range pages {
+		lens[i] = len(p.Items)
+	}
+	return &Engine{pager: pager, numItems: len(items), pageLens: lens}, nil
+}
+
+// NewFromPager builds a scan engine over an existing pager holding numItems
+// items. Page sizes are determined with one warm-up pass, after which the
+// pager's statistics are reset.
+func NewFromPager(pager *store.Pager, numItems int) (*Engine, error) {
+	if pager == nil {
+		return nil, fmt.Errorf("scan: nil pager")
+	}
+	lens := make([]int, pager.NumPages())
+	for i := range lens {
+		p, err := pager.ReadPage(store.PageID(i))
+		if err != nil {
+			return nil, fmt.Errorf("scan: sizing page %d: %w", i, err)
+		}
+		lens[i] = len(p.Items)
+	}
+	pager.ResetStats()
+	return &Engine{pager: pager, numItems: numItems, pageLens: lens}, nil
+}
+
+// Name returns "scan".
+func (e *Engine) Name() string { return "scan" }
+
+// Plan returns every data page in physical order with lower bound 0: a scan
+// can exclude nothing, so all pages are relevant regardless of queryDist.
+func (e *Engine) Plan(_ vec.Vector, _ float64) []engine.PageRef {
+	refs := make([]engine.PageRef, e.pager.NumPages())
+	for i := range refs {
+		refs[i] = engine.PageRef{ID: store.PageID(i)}
+	}
+	return refs
+}
+
+// MinDist returns 0: the scan has no geometric knowledge of page contents.
+func (e *Engine) MinDist(vec.Vector, store.PageID) float64 { return 0 }
+
+// MaxDist returns +Inf: the scan cannot bound page contents.
+func (e *Engine) MaxDist(vec.Vector, store.PageID) float64 { return math.Inf(1) }
+
+// PageLen returns the number of items on the page.
+func (e *Engine) PageLen(pid store.PageID) int { return e.pageLens[pid] }
+
+// ReadPage reads a data page through the pager.
+func (e *Engine) ReadPage(pid store.PageID) (*store.Page, error) {
+	return e.pager.ReadPage(pid)
+}
+
+// NumPages returns the number of data pages.
+func (e *Engine) NumPages() int { return e.pager.NumPages() }
+
+// NumItems returns the number of stored items.
+func (e *Engine) NumItems() int { return e.numItems }
+
+// Pager returns the underlying pager.
+func (e *Engine) Pager() *store.Pager { return e.pager }

@@ -1,0 +1,136 @@
+package scan
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+func items(n int) []store.Item {
+	out := make([]store.Item, n)
+	for i := range out {
+		out[i] = store.Item{ID: store.ItemID(i), Vec: vec.Vector{float64(i), 0}}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(items(4), 0, 0); err == nil {
+		t.Error("zero page capacity accepted")
+	}
+	if _, err := New(items(4), 2, -1); err == nil {
+		t.Error("negative buffer accepted")
+	}
+	if _, err := NewFromPager(nil, 0); err == nil {
+		t.Error("nil pager accepted")
+	}
+}
+
+func TestPlanCoversAllPagesInPhysicalOrder(t *testing.T) {
+	e, err := New(items(10), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "scan" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.NumPages() != 4 || e.NumItems() != 10 {
+		t.Errorf("NumPages=%d NumItems=%d", e.NumPages(), e.NumItems())
+	}
+	plan := e.Plan(vec.Vector{5, 5}, 0.001) // queryDist is irrelevant to a scan
+	if len(plan) != 4 {
+		t.Fatalf("plan has %d pages, want 4", len(plan))
+	}
+	for i, ref := range plan {
+		if ref.ID != store.PageID(i) {
+			t.Errorf("plan[%d] = page %d, want physical order", i, ref.ID)
+		}
+		if ref.MinDist != 0 {
+			t.Errorf("plan[%d].MinDist = %v, want 0", i, ref.MinDist)
+		}
+	}
+	if got := e.MinDist(vec.Vector{9, 9}, 2); got != 0 {
+		t.Errorf("MinDist = %v, want 0", got)
+	}
+}
+
+func TestSequentialIOAccounting(t *testing.T) {
+	e, err := New(items(12), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range e.Plan(nil, math.Inf(1)) {
+		if _, err := e.ReadPage(ref.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Pager().Disk().Stats()
+	if s.Reads != 4 {
+		t.Errorf("Reads = %d, want 4", s.Reads)
+	}
+	if s.RandReads != 1 || s.SeqReads != 3 {
+		t.Errorf("scan should be sequential after the first seek: %+v", s)
+	}
+}
+
+func TestNewFromPager(t *testing.T) {
+	pages, err := store.Paginate(items(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := store.NewDisk(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pager, err := store.NewPager(disk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFromPager(pager, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumItems() != 4 || e.NumPages() != 2 {
+		t.Errorf("NumItems=%d NumPages=%d", e.NumItems(), e.NumPages())
+	}
+	if e.Pager() != pager {
+		t.Error("Pager() does not return the provided pager")
+	}
+}
+
+func TestNewFromPagerSurfacesSizingErrors(t *testing.T) {
+	pages, err := store.Paginate(items(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := store.NewDisk(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.FailOn(func(store.PageID) error { return errBoom })
+	pager, err := store.NewPager(disk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromPager(pager, 4); err == nil {
+		t.Error("sizing failure swallowed")
+	}
+}
+
+var errBoom = errors.New("boom")
+
+func TestPageLenAndMaxDist(t *testing.T) {
+	e, err := New(items(5), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PageLen(0) != 2 || e.PageLen(2) != 1 {
+		t.Errorf("PageLen = %d / %d", e.PageLen(0), e.PageLen(2))
+	}
+	if !math.IsInf(e.MaxDist(vec.Vector{0, 0}, 0), 1) {
+		t.Error("scan MaxDist should be +Inf")
+	}
+}

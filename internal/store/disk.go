@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// IOStats is a snapshot of simulated disk activity.
+type IOStats struct {
+	// Reads is the total number of page reads that reached the disk
+	// (buffer hits are not included when reading through a Pager).
+	Reads int64
+	// SeqReads counts reads of the page physically following the previous
+	// one; these need no seek.
+	SeqReads int64
+	// RandReads counts reads that required a disk seek.
+	RandReads int64
+}
+
+// Add returns the component-wise sum of s and t.
+func (s IOStats) Add(t IOStats) IOStats {
+	return IOStats{
+		Reads:     s.Reads + t.Reads,
+		SeqReads:  s.SeqReads + t.SeqReads,
+		RandReads: s.RandReads + t.RandReads,
+	}
+}
+
+// Disk simulates a disk holding data pages at consecutive physical
+// addresses. It is safe for concurrent use.
+type Disk struct {
+	mu       sync.Mutex
+	pages    []*Page
+	stats    IOStats
+	lastRead PageID
+	failOn   func(PageID) error
+}
+
+// NewDisk creates a disk from pages. Pages must have consecutive IDs
+// starting at 0 (as produced by Paginate); NewDisk returns an error
+// otherwise, because physical-order sequential I/O accounting depends on it.
+func NewDisk(pages []*Page) (*Disk, error) {
+	for i, p := range pages {
+		if p == nil {
+			return nil, fmt.Errorf("store: page %d is nil", i)
+		}
+		if p.ID != PageID(i) {
+			return nil, fmt.Errorf("store: page at slot %d has ID %d, want %d", i, p.ID, i)
+		}
+	}
+	return &Disk{pages: pages, lastRead: InvalidPage - 1}, nil
+}
+
+// NumPages returns the number of pages on the disk.
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Read fetches a page from the disk, updating I/O statistics. It returns an
+// error for out-of-range addresses or when failure injection is armed.
+func (d *Disk) Read(pid PageID) (*Page, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pid < 0 || int(pid) >= len(d.pages) {
+		return nil, fmt.Errorf("store: read of page %d outside disk of %d pages", pid, len(d.pages))
+	}
+	if d.failOn != nil {
+		if err := d.failOn(pid); err != nil {
+			return nil, fmt.Errorf("store: injected failure reading page %d: %w", pid, err)
+		}
+	}
+	d.stats.Reads++
+	if pid == d.lastRead+1 {
+		d.stats.SeqReads++
+	} else {
+		d.stats.RandReads++
+	}
+	d.lastRead = pid
+	return d.pages[pid], nil
+}
+
+// Stats returns a snapshot of the I/O statistics.
+func (d *Disk) Stats() IOStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the I/O statistics and returns the previous snapshot.
+// The sequential-read tracking is reset too.
+func (d *Disk) ResetStats() IOStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	d.stats = IOStats{}
+	d.lastRead = InvalidPage - 1
+	return s
+}
+
+// FailOn installs a failure-injection hook consulted before every read.
+// Passing nil disarms injection. Intended for tests.
+func (d *Disk) FailOn(fn func(PageID) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failOn = fn
+}

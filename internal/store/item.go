@@ -1,0 +1,76 @@
+// Package store provides the storage substrate of the library: database
+// items, fixed-capacity data pages, a simulated disk with I/O accounting,
+// and an LRU buffer pool.
+//
+// The paper measures I/O cost as the number of data pages read from disk
+// (with pages ordered by physical address so seeks are minimized). The
+// simulated disk reproduces exactly this accounting: every read is counted
+// and classified as sequential (next physical page) or random (requires a
+// seek), and the buffer pool absorbs re-reads just like the 10 %-of-index
+// buffer used in the paper's experiments.
+package store
+
+import (
+	"fmt"
+
+	"metricdb/internal/vec"
+)
+
+// ItemID identifies a database object.
+type ItemID uint64
+
+// Item is one database object: an identifier plus its feature vector.
+// An optional Label carries class information for the classification
+// experiments (it plays no role in query processing).
+type Item struct {
+	ID    ItemID
+	Vec   vec.Vector
+	Label int
+}
+
+// PageID is the physical address of a data page. Reads of consecutive
+// PageIDs are sequential I/O; anything else costs a seek.
+type PageID int32
+
+// InvalidPage is the zero-value "no such page" sentinel.
+const InvalidPage PageID = -1
+
+// Page is a fixed-capacity data page holding items.
+type Page struct {
+	ID    PageID
+	Items []Item
+}
+
+// Paginate packs items into pages of at most capacity items each, in the
+// given order, assigning consecutive PageIDs starting at 0. It returns an
+// error if capacity is not positive.
+func Paginate(items []Item, capacity int) ([]*Page, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("store: page capacity must be positive, got %d", capacity)
+	}
+	pages := make([]*Page, 0, (len(items)+capacity-1)/capacity)
+	for start := 0; start < len(items); start += capacity {
+		end := start + capacity
+		if end > len(items) {
+			end = len(items)
+		}
+		pages = append(pages, &Page{
+			ID:    PageID(len(pages)),
+			Items: items[start:end],
+		})
+	}
+	return pages, nil
+}
+
+// PageCapacityForBlockSize returns how many d-dimensional float64 items fit
+// in a disk block of blockSize bytes, assuming 8 bytes per coordinate plus
+// 8 bytes of identifier per item (the layout the paper's 32 KB X-tree blocks
+// imply). The result is at least 1 so degenerate configurations still work.
+func PageCapacityForBlockSize(blockSize, dim int) int {
+	per := 8*dim + 8
+	c := blockSize / per
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

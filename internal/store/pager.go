@@ -1,0 +1,56 @@
+package store
+
+import "fmt"
+
+// Pager reads pages through an LRU buffer: a buffer hit costs no disk I/O,
+// a miss reads from the simulated disk and caches the page. This mirrors the
+// paper's setup of a disk-resident database with a buffer of 10 % of the
+// index size.
+type Pager struct {
+	disk *Disk
+	buf  *Buffer
+}
+
+// NewPager combines a disk and a buffer. A nil buffer means unbuffered
+// access (every read hits the disk).
+func NewPager(disk *Disk, buf *Buffer) (*Pager, error) {
+	if disk == nil {
+		return nil, fmt.Errorf("store: pager needs a disk")
+	}
+	return &Pager{disk: disk, buf: buf}, nil
+}
+
+// ReadPage returns the page, going to disk only on a buffer miss.
+func (p *Pager) ReadPage(pid PageID) (*Page, error) {
+	if p.buf != nil {
+		if pg, ok := p.buf.Get(pid); ok {
+			return pg, nil
+		}
+	}
+	pg, err := p.disk.Read(pid)
+	if err != nil {
+		return nil, err
+	}
+	if p.buf != nil {
+		p.buf.Put(pid, pg)
+	}
+	return pg, nil
+}
+
+// NumPages returns the number of pages on the underlying disk.
+func (p *Pager) NumPages() int { return p.disk.NumPages() }
+
+// Disk returns the underlying disk (for statistics).
+func (p *Pager) Disk() *Disk { return p.disk }
+
+// Buffer returns the buffer, or nil for an unbuffered pager.
+func (p *Pager) Buffer() *Buffer { return p.buf }
+
+// ResetStats zeroes disk statistics and clears the buffer so experiments
+// start cold, returning the previous disk snapshot.
+func (p *Pager) ResetStats() IOStats {
+	if p.buf != nil {
+		p.buf.Clear()
+	}
+	return p.disk.ResetStats()
+}

@@ -1,0 +1,376 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"metricdb/internal/vec"
+)
+
+func makeItems(n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: ItemID(i), Vec: vec.Vector{float64(i)}}
+	}
+	return items
+}
+
+func TestPaginate(t *testing.T) {
+	pages, err := Paginate(makeItems(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 4 {
+		t.Fatalf("got %d pages, want 4", len(pages))
+	}
+	total := 0
+	for i, p := range pages {
+		if p.ID != PageID(i) {
+			t.Errorf("page %d has ID %d", i, p.ID)
+		}
+		total += len(p.Items)
+	}
+	if total != 10 {
+		t.Errorf("pages hold %d items, want 10", total)
+	}
+	if len(pages[3].Items) != 1 {
+		t.Errorf("last page holds %d items, want 1", len(pages[3].Items))
+	}
+
+	if _, err := Paginate(makeItems(3), 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	empty, err := Paginate(nil, 5)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("Paginate(nil) = %v, %v", empty, err)
+	}
+}
+
+// Property: pagination preserves every item exactly once, in order.
+func TestPaginateProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		items := makeItems(int(n))
+		pages, err := Paginate(items, capacity)
+		if err != nil {
+			return false
+		}
+		var got []Item
+		for _, p := range pages {
+			if len(p.Items) > capacity {
+				return false
+			}
+			got = append(got, p.Items...)
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != items[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageCapacityForBlockSize(t *testing.T) {
+	// 32 KB block, 20-d items: 32768 / (8*20+8) = 195.
+	if got := PageCapacityForBlockSize(32768, 20); got != 195 {
+		t.Errorf("capacity = %d, want 195", got)
+	}
+	if got := PageCapacityForBlockSize(8, 1000); got != 1 {
+		t.Errorf("tiny block capacity = %d, want 1", got)
+	}
+}
+
+func newTestDisk(t *testing.T, nPages int) *Disk {
+	t.Helper()
+	pages, err := Paginate(makeItems(nPages*2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDisk(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskReadAndStats(t *testing.T) {
+	d := newTestDisk(t, 5)
+
+	// Sequential scan 0..4.
+	for pid := PageID(0); pid < 5; pid++ {
+		if _, err := d.Read(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Reads != 5 {
+		t.Errorf("Reads = %d, want 5", s.Reads)
+	}
+	// First read of page 0 is random (arm starts parked), rest sequential.
+	if s.RandReads != 1 || s.SeqReads != 4 {
+		t.Errorf("RandReads=%d SeqReads=%d, want 1/4", s.RandReads, s.SeqReads)
+	}
+
+	// A backward jump costs a seek.
+	if _, err := d.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().RandReads; got != 2 {
+		t.Errorf("RandReads after jump = %d, want 2", got)
+	}
+}
+
+func TestDiskValidation(t *testing.T) {
+	d := newTestDisk(t, 3)
+	if _, err := d.Read(-1); err == nil {
+		t.Error("negative page read accepted")
+	}
+	if _, err := d.Read(99); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if _, err := NewDisk([]*Page{{ID: 5}}); err == nil {
+		t.Error("non-consecutive page IDs accepted")
+	}
+	if _, err := NewDisk([]*Page{nil}); err == nil {
+		t.Error("nil page accepted")
+	}
+}
+
+func TestDiskResetStats(t *testing.T) {
+	d := newTestDisk(t, 3)
+	if _, err := d.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	prev := d.ResetStats()
+	if prev.Reads != 1 {
+		t.Errorf("previous Reads = %d, want 1", prev.Reads)
+	}
+	if got := d.Stats(); got != (IOStats{}) {
+		t.Errorf("stats after reset = %+v", got)
+	}
+	// After a reset the arm is parked again: first read is random.
+	if _, err := d.Read(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().RandReads; got != 1 {
+		t.Errorf("RandReads after reset = %d, want 1", got)
+	}
+}
+
+func TestDiskFailureInjection(t *testing.T) {
+	d := newTestDisk(t, 3)
+	boom := errors.New("boom")
+	d.FailOn(func(pid PageID) error {
+		if pid == 1 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := d.Read(0); err != nil {
+		t.Errorf("read of healthy page failed: %v", err)
+	}
+	if _, err := d.Read(1); !errors.Is(err, boom) {
+		t.Errorf("injected failure not surfaced: %v", err)
+	}
+	d.FailOn(nil)
+	if _, err := d.Read(1); err != nil {
+		t.Errorf("read after disarm failed: %v", err)
+	}
+}
+
+func TestDiskConcurrentReads(t *testing.T) {
+	d := newTestDisk(t, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := d.Read(PageID(i % 8)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.Stats().Reads; got != 800 {
+		t.Errorf("Reads = %d, want 800", got)
+	}
+}
+
+func TestIOStatsAdd(t *testing.T) {
+	a := IOStats{Reads: 1, SeqReads: 2, RandReads: 3}
+	b := IOStats{Reads: 10, SeqReads: 20, RandReads: 30}
+	if got := a.Add(b); got != (IOStats{Reads: 11, SeqReads: 22, RandReads: 33}) {
+		t.Errorf("Add = %+v", got)
+	}
+}
+
+func TestBufferLRU(t *testing.T) {
+	b, err := NewBuffer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1, p2 := &Page{ID: 0}, &Page{ID: 1}, &Page{ID: 2}
+
+	if _, ok := b.Get(0); ok {
+		t.Error("empty buffer produced a hit")
+	}
+	b.Put(0, p0)
+	b.Put(1, p1)
+	if got, ok := b.Get(0); !ok || got != p0 {
+		t.Error("page 0 not buffered")
+	}
+	// 0 is now MRU; inserting 2 must evict 1.
+	b.Put(2, p2)
+	if _, ok := b.Get(1); ok {
+		t.Error("LRU page 1 not evicted")
+	}
+	if _, ok := b.Get(0); !ok {
+		t.Error("MRU page 0 evicted")
+	}
+	if _, ok := b.Get(2); !ok {
+		t.Error("fresh page 2 missing")
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+
+	hits, misses, ratio := b.HitRate()
+	if hits != 3 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 3/2", hits, misses)
+	}
+	if ratio != 0.6 {
+		t.Errorf("ratio = %v, want 0.6", ratio)
+	}
+}
+
+func TestBufferEdgeCases(t *testing.T) {
+	if _, err := NewBuffer(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	b, err := NewBuffer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Put(0, &Page{ID: 0})
+	if _, ok := b.Get(0); ok {
+		t.Error("zero-capacity buffer cached a page")
+	}
+
+	b2, err := NewBuffer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-putting the same page must refresh, not duplicate.
+	b2.Put(0, &Page{ID: 0})
+	b2.Put(0, &Page{ID: 0})
+	if b2.Len() != 1 {
+		t.Errorf("Len after duplicate Put = %d, want 1", b2.Len())
+	}
+	b2.Clear()
+	if b2.Len() != 0 {
+		t.Error("Clear left pages behind")
+	}
+	if h, m, r := b2.HitRate(); h != 0 || m != 0 || r != 0 {
+		t.Error("Clear did not reset hit stats")
+	}
+	if b2.Capacity() != 1 {
+		t.Errorf("Capacity = %d", b2.Capacity())
+	}
+}
+
+func TestDefaultBufferPages(t *testing.T) {
+	cases := []struct{ pages, want int }{
+		{0, 0}, {5, 1}, {10, 1}, {100, 10}, {1234, 123},
+	}
+	for _, c := range cases {
+		if got := DefaultBufferPages(c.pages); got != c.want {
+			t.Errorf("DefaultBufferPages(%d) = %d, want %d", c.pages, got, c.want)
+		}
+	}
+}
+
+func TestPagerBufferedReads(t *testing.T) {
+	d := newTestDisk(t, 4)
+	buf, err := NewBuffer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPager(d, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPages() != 4 {
+		t.Errorf("NumPages = %d", p.NumPages())
+	}
+
+	// Two reads of the same page: one disk I/O.
+	if _, err := p.ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Reads; got != 1 {
+		t.Errorf("disk reads = %d, want 1 (second read should hit buffer)", got)
+	}
+
+	if p.Disk() != d || p.Buffer() != buf {
+		t.Error("accessors do not return the configured components")
+	}
+
+	prev := p.ResetStats()
+	if prev.Reads != 1 {
+		t.Errorf("ResetStats returned %+v", prev)
+	}
+	// After reset the buffer is cold again.
+	if _, err := p.ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Reads; got != 1 {
+		t.Errorf("disk reads after reset = %d, want 1", got)
+	}
+}
+
+func TestPagerUnbuffered(t *testing.T) {
+	d := newTestDisk(t, 2)
+	p, err := NewPager(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.ReadPage(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Stats().Reads; got != 3 {
+		t.Errorf("unbuffered disk reads = %d, want 3", got)
+	}
+	if _, err := NewPager(nil, nil); err == nil {
+		t.Error("nil disk accepted")
+	}
+}
+
+func TestPagerSurfacesDiskErrors(t *testing.T) {
+	d := newTestDisk(t, 2)
+	p, err := NewPager(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.FailOn(func(PageID) error { return fmt.Errorf("dead sector") })
+	if _, err := p.ReadPage(0); err == nil {
+		t.Error("pager swallowed a disk error")
+	}
+}

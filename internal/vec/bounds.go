@@ -1,0 +1,44 @@
+package vec
+
+// Coordinatewise is implemented by metrics whose distance is a monotone
+// function of the per-coordinate absolute differences |a_i - b_i|. For such
+// metrics a valid lower bound on the distance from a query point to any
+// point inside an axis-aligned rectangle is obtained by applying the metric
+// to the per-coordinate gap vector (the "gap trick" used by geom).
+//
+// All Lp metrics and the weighted Euclidean metric are coordinatewise; the
+// quadratic-form metric is not (its off-diagonal terms can shrink distances
+// below the gap-vector value).
+type Coordinatewise interface {
+	Metric
+	// CoordinatewiseMetric is a marker; implementations return true.
+	CoordinatewiseMetric() bool
+}
+
+// CoordinatewiseMetric marks Euclidean as coordinatewise.
+func (Euclidean) CoordinatewiseMetric() bool { return true }
+
+// CoordinatewiseMetric marks Manhattan as coordinatewise.
+func (Manhattan) CoordinatewiseMetric() bool { return true }
+
+// CoordinatewiseMetric marks Chebyshev as coordinatewise.
+func (Chebyshev) CoordinatewiseMetric() bool { return true }
+
+// CoordinatewiseMetric marks Minkowski as coordinatewise.
+func (Minkowski) CoordinatewiseMetric() bool { return true }
+
+// CoordinatewiseMetric marks WeightedEuclidean as coordinatewise.
+func (*WeightedEuclidean) CoordinatewiseMetric() bool { return true }
+
+// BaseMetric strips Counting wrappers, returning the innermost metric.
+// Geometric lower-bound computations use the base metric so that MBR
+// distance evaluations are not charged as object distance calculations.
+func BaseMetric(m Metric) Metric {
+	for {
+		c, ok := m.(*Counting)
+		if !ok {
+			return m
+		}
+		m = c.Unwrap()
+	}
+}

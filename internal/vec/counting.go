@@ -1,0 +1,36 @@
+package vec
+
+import "sync/atomic"
+
+// Counting wraps a Metric and counts how many distance calculations are
+// performed. The counter is atomic, so one Counting value may be shared by
+// the parallel query processor's servers.
+//
+// Distance calculations are the dominant CPU cost of similarity query
+// processing; the paper's Figures 8-10 are all expressed in terms of this
+// count, so the wrapper is the instrumentation point for every experiment.
+type Counting struct {
+	inner Metric
+	n     atomic.Int64
+}
+
+// NewCounting returns a counting wrapper around m.
+func NewCounting(m Metric) *Counting { return &Counting{inner: m} }
+
+// Distance computes the wrapped distance and increments the counter.
+func (c *Counting) Distance(a, b Vector) float64 {
+	c.n.Add(1)
+	return c.inner.Distance(a, b)
+}
+
+// Name returns the wrapped metric's name.
+func (c *Counting) Name() string { return c.inner.Name() }
+
+// Count returns the number of distance calculations so far.
+func (c *Counting) Count() int64 { return c.n.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counting) Reset() int64 { return c.n.Swap(0) }
+
+// Unwrap returns the underlying metric.
+func (c *Counting) Unwrap() Metric { return c.inner }

@@ -1,0 +1,124 @@
+// Package vec provides dense float64 vectors and the metric distance
+// functions used throughout the library.
+//
+// A metric distance function dist must satisfy, for all objects o1, o2, o3:
+//
+//	identity:   dist(o1, o2) == 0  iff  o1 == o2
+//	symmetry:   dist(o1, o2) == dist(o2, o1)
+//	triangle:   dist(o1, o3) <= dist(o1, o2) + dist(o2, o3)
+//
+// The triangle inequality is what the multiple-similarity-query processor
+// exploits to avoid distance calculations (Lemma 1 and Lemma 2 of the
+// paper), so every Metric in this package is a true metric.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Vector is a point in a d-dimensional real vector space.
+type Vector []float64
+
+// Dim returns the dimensionality of the vector.
+func (v Vector) Dim() int { return len(v) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Equal reports whether v and w have the same dimension and components.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns v + w. It panics if the dimensions differ.
+func (v Vector) Add(w Vector) Vector {
+	mustSameDim(v, w)
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = v[i] + w[i]
+	}
+	return r
+}
+
+// Sub returns v - w. It panics if the dimensions differ.
+func (v Vector) Sub(w Vector) Vector {
+	mustSameDim(v, w)
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = v[i] - w[i]
+	}
+	return r
+}
+
+// Scale returns s * v.
+func (v Vector) Scale(s float64) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = s * v[i]
+	}
+	return r
+}
+
+// Dot returns the inner product of v and w. It panics if the dimensions
+// differ.
+func (v Vector) Dot(w Vector) float64 {
+	mustSameDim(v, w)
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// L1Normalize scales v in place so its components sum to 1, which turns a
+// non-negative vector into a histogram. A zero vector is left unchanged.
+func (v Vector) L1Normalize() {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// String renders the vector as "(x1, x2, ...)" with short float formatting.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', 6, 64))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func mustSameDim(v, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(v), len(w)))
+	}
+}

@@ -1,0 +1,338 @@
+// Package wire provides the paper's closing recommendation — "multiple
+// similarity queries should be provided as a basic DBMS operation" — as an
+// actual database operation: a line-delimited JSON protocol over TCP with a
+// server wrapping a metric database and a matching client.
+//
+// Each connection owns one multi-query session, so partial answers and the
+// query-distance matrix are buffered across requests exactly like a local
+// Batch: a client can stream an ExploreNeighborhoods workload and get the
+// incremental first-query-complete semantics of Definition 4 over the wire.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+	"metricdb/internal/vec"
+)
+
+// Op names a request operation.
+type Op string
+
+// Supported operations.
+const (
+	// OpQuery evaluates one similarity query completely.
+	OpQuery Op = "query"
+	// OpMulti evaluates a multiple similarity query incrementally: the
+	// first query's answers are complete, the rest partial (Definition 4).
+	OpMulti Op = "multi"
+	// OpMultiAll evaluates a batch to completion.
+	OpMultiAll Op = "multi_all"
+	// OpStats returns the session's accumulated statistics.
+	OpStats Op = "stats"
+)
+
+// QuerySpec is one query in wire form.
+type QuerySpec struct {
+	ID     uint64    `json:"id"`
+	Vector []float64 `json:"vector"`
+	// Kind is "range", "knn" or "bounded-knn".
+	Kind string `json:"kind"`
+	// Range is ε for range and bounded-knn kinds.
+	Range float64 `json:"range,omitempty"`
+	// K is the cardinality for knn kinds.
+	K int `json:"k,omitempty"`
+}
+
+// toType converts the wire kind to a query type.
+func (q QuerySpec) toType() (query.Type, error) {
+	switch q.Kind {
+	case "range":
+		return query.NewRange(q.Range), nil
+	case "knn":
+		return query.NewKNN(q.K), nil
+	case "bounded-knn":
+		return query.NewBoundedKNN(q.K, q.Range), nil
+	default:
+		return query.Type{}, fmt.Errorf("wire: unknown query kind %q", q.Kind)
+	}
+}
+
+// Request is one client message.
+type Request struct {
+	Op      Op          `json:"op"`
+	Queries []QuerySpec `json:"queries,omitempty"`
+}
+
+// Answer is one result in wire form.
+type Answer struct {
+	ID   uint64  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// Stats mirrors the processing statistics over the wire.
+type Stats struct {
+	Queries         int64 `json:"queries"`
+	PagesRead       int64 `json:"pages_read"`
+	DistCalcs       int64 `json:"dist_calcs"`
+	MatrixDistCalcs int64 `json:"matrix_dist_calcs"`
+	AvoidTries      int64 `json:"avoid_tries"`
+	Avoided         int64 `json:"avoided"`
+}
+
+func fromStats(s msq.Stats) Stats {
+	return Stats{
+		Queries:         s.Queries,
+		PagesRead:       s.PagesRead,
+		DistCalcs:       s.DistCalcs,
+		MatrixDistCalcs: s.MatrixDistCalcs,
+		AvoidTries:      s.AvoidTries,
+		Avoided:         s.Avoided,
+	}
+}
+
+// Response is one server message.
+type Response struct {
+	// Answers holds one result list per request query (a single list for
+	// OpQuery).
+	Answers [][]Answer `json:"answers,omitempty"`
+	Stats   Stats      `json:"stats"`
+	Err     string     `json:"err,omitempty"`
+}
+
+// Server serves similarity queries over a metric database. Each accepted
+// connection gets its own multi-query session; connections are handled
+// concurrently (the processor's engine and counting metric are safe for
+// concurrent readers).
+type Server struct {
+	proc *msq.Processor
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a processor.
+func NewServer(proc *msq.Processor) (*Server, error) {
+	if proc == nil {
+		return nil, fmt.Errorf("wire: nil processor")
+	}
+	return &Server{proc: proc, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts connections on lis until Close is called. It always
+// returns a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs the per-connection request loop with a dedicated session.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	session := s.proc.NewSession()
+	var total msq.Stats
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection: drop the session
+		}
+		resp := s.dispatch(session, &total, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the connection's session.
+func (s *Server) dispatch(session *msq.Session, total *msq.Stats, req Request) Response {
+	fail := func(err error) Response {
+		return Response{Err: err.Error(), Stats: fromStats(*total)}
+	}
+	switch req.Op {
+	case OpQuery:
+		if len(req.Queries) != 1 {
+			return fail(fmt.Errorf("wire: op %q needs exactly one query, got %d", req.Op, len(req.Queries)))
+		}
+		t, err := req.Queries[0].toType()
+		if err != nil {
+			return fail(err)
+		}
+		answers, st, err := s.proc.Single(vec.Vector(req.Queries[0].Vector), t)
+		if err != nil {
+			return fail(err)
+		}
+		*total = total.Add(st)
+		return Response{Answers: [][]Answer{toWireAnswers(answers.Answers())}, Stats: fromStats(st)}
+	case OpMulti, OpMultiAll:
+		batch := make([]msq.Query, len(req.Queries))
+		for i, q := range req.Queries {
+			t, err := q.toType()
+			if err != nil {
+				return fail(err)
+			}
+			batch[i] = msq.Query{ID: q.ID, Vec: vec.Vector(q.Vector), Type: t}
+		}
+		run := session.MultiQuery
+		if req.Op == OpMultiAll {
+			run = session.MultiQueryAll
+		}
+		lists, st, err := run(batch)
+		if err != nil {
+			return fail(err)
+		}
+		*total = total.Add(st)
+		out := make([][]Answer, len(lists))
+		for i, l := range lists {
+			out[i] = toWireAnswers(l.Answers())
+		}
+		return Response{Answers: out, Stats: fromStats(st)}
+	case OpStats:
+		return Response{Stats: fromStats(*total)}
+	default:
+		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+}
+
+func toWireAnswers(as []query.Answer) []Answer {
+	out := make([]Answer, len(as))
+	for i, a := range as {
+		out[i] = Answer{ID: uint64(a.ID), Dist: a.Dist}
+	}
+	return out
+}
+
+// Client talks to a Server over one connection (= one server-side session).
+// Not safe for concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	w    *bufio.Writer
+	enc  *json.Encoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	w := bufio.NewWriter(conn)
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		w:    w,
+		enc:  json.NewEncoder(w),
+	}, nil
+}
+
+// Close closes the connection, ending the server-side session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("wire: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("wire: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Query evaluates a single similarity query.
+func (c *Client) Query(q QuerySpec) ([]Answer, Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpQuery, Queries: []QuerySpec{q}})
+	if err != nil {
+		return nil, resp.Stats, err
+	}
+	return resp.Answers[0], resp.Stats, nil
+}
+
+// Multi evaluates a multiple similarity query incrementally (Definition 4).
+func (c *Client) Multi(qs []QuerySpec) ([][]Answer, Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpMulti, Queries: qs})
+	return resp.Answers, resp.Stats, err
+}
+
+// MultiAll evaluates a batch to completion.
+func (c *Client) MultiAll(qs []QuerySpec) ([][]Answer, Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpMultiAll, Queries: qs})
+	return resp.Answers, resp.Stats, err
+}
+
+// SessionStats returns the connection's accumulated statistics.
+func (c *Client) SessionStats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	return resp.Stats, err
+}

@@ -1,0 +1,96 @@
+package xtree
+
+import (
+	"fmt"
+	"sort"
+
+	"metricdb/internal/engine"
+	"metricdb/internal/geom"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// The Tree implements engine.Engine once built.
+var _ engine.Engine = (*Tree)(nil)
+
+// Name returns "xtree".
+func (t *Tree) Name() string { return "xtree" }
+
+// Plan traverses the memory-resident directory and returns every data page
+// whose lower-bound distance to q does not exceed queryDist, in ascending
+// lower-bound order (the Hjaltason–Samet page schedule). For a k-NN query
+// the caller passes queryDist = +Inf and prunes while consuming the plan as
+// its answer list tightens.
+func (t *Tree) Plan(q vec.Vector, queryDist float64) []engine.PageRef {
+	t.mustBeBuilt()
+	var refs []engine.PageRef
+	var walk func(n *node)
+	walk = func(n *node) {
+		b := geom.LowerBound(t.cfg.Metric, n.rect, q)
+		if b > queryDist {
+			return
+		}
+		if n.isLeaf() {
+			refs = append(refs, engine.PageRef{ID: n.pid, MinDist: b})
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].MinDist != refs[j].MinDist {
+			return refs[i].MinDist < refs[j].MinDist
+		}
+		return refs[i].ID < refs[j].ID
+	})
+	return refs
+}
+
+// MinDist returns the lower bound on the distance from q to any item on
+// data page pid.
+func (t *Tree) MinDist(q vec.Vector, pid store.PageID) float64 {
+	t.mustBeBuilt()
+	return geom.LowerBound(t.cfg.Metric, t.leafRects[pid], q)
+}
+
+// MaxDist returns the upper bound (MAXDIST of the page MBR) on the distance
+// from q to any item on data page pid.
+func (t *Tree) MaxDist(q vec.Vector, pid store.PageID) float64 {
+	t.mustBeBuilt()
+	return geom.UpperBound(t.cfg.Metric, t.leafRects[pid], q)
+}
+
+// PageLen returns the number of items on data page pid.
+func (t *Tree) PageLen(pid store.PageID) int {
+	t.mustBeBuilt()
+	return t.leafLens[pid]
+}
+
+// ReadPage fetches a data page through the tree's pager.
+func (t *Tree) ReadPage(pid store.PageID) (*store.Page, error) {
+	t.mustBeBuilt()
+	return t.pager.ReadPage(pid)
+}
+
+// NumPages returns the number of data pages.
+func (t *Tree) NumPages() int {
+	t.mustBeBuilt()
+	return t.pager.NumPages()
+}
+
+// NumItems returns the number of stored items.
+func (t *Tree) NumItems() int { return t.count }
+
+// Pager returns the data-page pager.
+func (t *Tree) Pager() *store.Pager {
+	t.mustBeBuilt()
+	return t.pager
+}
+
+func (t *Tree) mustBeBuilt() {
+	if !t.built {
+		panic(fmt.Sprintf("xtree: query before Build on tree with %d items", t.count))
+	}
+}

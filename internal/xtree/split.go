@@ -1,0 +1,137 @@
+package xtree
+
+import (
+	"sort"
+
+	"metricdb/internal/geom"
+)
+
+// splitResult describes a candidate partition of a node's entries into two
+// groups, identified by their indices into the original entry slice.
+type splitResult struct {
+	left, right         []int
+	leftRect, rightRect geom.Rect
+	overlap             float64 // volume of leftRect ∩ rightRect
+	axis                int     // split dimension (for the split history)
+}
+
+// overlapRatio returns the overlap volume normalized by the volume of the
+// union MBR — the quantity the X-tree compares against its MaxOverlap
+// threshold when deciding between a split and a supernode. Degenerate
+// (zero-volume) unions report ratio 0.
+func (s splitResult) overlapRatio() float64 {
+	u := s.leftRect.Union(s.rightRect).Area()
+	if u <= 0 {
+		return 0
+	}
+	return s.overlap / u
+}
+
+// topologicalSplit performs the R*-tree topological split over rects:
+// the split axis is the one minimizing the total margin over all candidate
+// distributions, and along that axis the distribution with minimal overlap
+// (ties broken by minimal combined area) wins. minFill is the minimum group
+// size; it is clamped to [1, len(rects)/2].
+func topologicalSplit(rects []geom.Rect, minFill int) splitResult {
+	n := len(rects)
+	if minFill < 1 {
+		minFill = 1
+	}
+	if minFill > n/2 {
+		minFill = n / 2
+	}
+	dim := rects[0].Dim()
+
+	bestAxis := 0
+	bestAxisUpper := false
+	bestMargin := -1.0
+	for axis := 0; axis < dim; axis++ {
+		for _, byUpper := range []bool{false, true} {
+			order := sortedOrder(rects, axis, byUpper)
+			prefix, suffix := cumulativeRects(rects, order)
+			margin := 0.0
+			for k := minFill; k <= n-minFill; k++ {
+				margin += prefix[k].Margin() + suffix[k].Margin()
+			}
+			if bestMargin < 0 || margin < bestMargin {
+				bestMargin = margin
+				bestAxis = axis
+				bestAxisUpper = byUpper
+			}
+		}
+	}
+
+	order := sortedOrder(rects, bestAxis, bestAxisUpper)
+	prefix, suffix := cumulativeRects(rects, order)
+	var best splitResult
+	bestScore := -1.0
+	bestArea := 0.0
+	for k := minFill; k <= n-minFill; k++ {
+		l, r := prefix[k], suffix[k]
+		ov := l.Overlap(r)
+		area := l.Area() + r.Area()
+		if bestScore < 0 || ov < bestScore || (ov == bestScore && area < bestArea) {
+			bestScore = ov
+			bestArea = area
+			best = splitResult{
+				left:      append([]int(nil), order[:k]...),
+				right:     append([]int(nil), order[k:]...),
+				leftRect:  l.Clone(),
+				rightRect: r.Clone(),
+				overlap:   ov,
+				axis:      bestAxis,
+			}
+		}
+	}
+	return best
+}
+
+// cumulativeRects returns, for every split position k, the MBR of the
+// first k entries (prefix[k]) and of the remaining entries (suffix[k]) in
+// sorted order, computed in one linear pass instead of per-distribution —
+// the difference between O(n²·d) and O(n·d) per axis.
+func cumulativeRects(rects []geom.Rect, order []int) (prefix, suffix []geom.Rect) {
+	n := len(order)
+	dim := rects[0].Dim()
+	prefix = make([]geom.Rect, n+1)
+	suffix = make([]geom.Rect, n+1)
+	prefix[0] = geom.EmptyRect(dim)
+	for k := 1; k <= n; k++ {
+		prefix[k] = prefix[k-1].Clone()
+		prefix[k].ExtendRect(rects[order[k-1]])
+	}
+	suffix[n] = geom.EmptyRect(dim)
+	for k := n - 1; k >= 0; k-- {
+		suffix[k] = suffix[k+1].Clone()
+		suffix[k].ExtendRect(rects[order[k]])
+	}
+	return prefix, suffix
+}
+
+// sortedOrder returns entry indices sorted along axis by lower edge (or
+// upper edge when byUpper), with the other edge and index as tie-breakers
+// for determinism.
+func sortedOrder(rects []geom.Rect, axis int, byUpper bool) []int {
+	order := make([]int, len(rects))
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) (float64, float64) {
+		if byUpper {
+			return rects[i].Max[axis], rects[i].Min[axis]
+		}
+		return rects[i].Min[axis], rects[i].Max[axis]
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, sa := key(order[a])
+		pb, sb := key(order[b])
+		if pa != pb {
+			return pa < pb
+		}
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

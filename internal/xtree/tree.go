@@ -1,0 +1,542 @@
+package xtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metricdb/internal/geom"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// Config parameterizes an X-tree.
+type Config struct {
+	// LeafCapacity is the number of items per data page. Required.
+	LeafCapacity int
+	// DirFanout is the normal directory fanout; supernodes grow in
+	// multiples of it. Required.
+	DirFanout int
+	// MinFillRatio is the minimum node fill on splits (R*-tree default
+	// 0.4). Zero selects the default.
+	MinFillRatio float64
+	// MaxOverlap is the X-tree overlap threshold: if the best topological
+	// split of a directory node overlaps more than this fraction of the
+	// union volume, the node becomes a supernode instead. The X-tree
+	// paper derives 20 % as a good threshold. Zero selects the default.
+	MaxOverlap float64
+	// BufferPages sizes the LRU data-page buffer created by Build.
+	// Negative selects the paper's default of 10 % of the data pages;
+	// zero disables buffering.
+	BufferPages int
+	// Metric is used for query lower bounds. Nil selects Euclidean.
+	// Non-coordinatewise metrics are allowed but give the index no
+	// selectivity (all lower bounds are zero).
+	Metric vec.Metric
+	// ReinsertFraction enables R*-style forced reinsertion: on the first
+	// leaf overflow of an insertion, this fraction of the leaf's items
+	// farthest from its center are reinserted from the root instead of
+	// splitting, which tightens MBRs. 0 disables reinsertion (default);
+	// the R*-tree paper recommends 0.3. Must be in [0, 0.5].
+	ReinsertFraction float64
+}
+
+// withDefaults fills in defaulted fields and validates the config.
+func (c Config) withDefaults() (Config, error) {
+	if c.LeafCapacity < 2 {
+		return c, fmt.Errorf("xtree: LeafCapacity must be >= 2, got %d", c.LeafCapacity)
+	}
+	if c.DirFanout < 2 {
+		return c, fmt.Errorf("xtree: DirFanout must be >= 2, got %d", c.DirFanout)
+	}
+	if c.MinFillRatio == 0 {
+		c.MinFillRatio = 0.4
+	}
+	if c.MinFillRatio < 0 || c.MinFillRatio > 0.5 {
+		return c, fmt.Errorf("xtree: MinFillRatio must be in (0, 0.5], got %g", c.MinFillRatio)
+	}
+	if c.MaxOverlap == 0 {
+		c.MaxOverlap = 0.2
+	}
+	if c.MaxOverlap < 0 || c.MaxOverlap > 1 {
+		return c, fmt.Errorf("xtree: MaxOverlap must be in (0, 1], got %g", c.MaxOverlap)
+	}
+	if c.ReinsertFraction < 0 || c.ReinsertFraction > 0.5 {
+		return c, fmt.Errorf("xtree: ReinsertFraction must be in [0, 0.5], got %g", c.ReinsertFraction)
+	}
+	if c.Metric == nil {
+		c.Metric = vec.Euclidean{}
+	}
+	return c, nil
+}
+
+// DefaultConfig returns the configuration used by the experiments: page
+// capacity derived from the paper's 32 KB blocks for the given
+// dimensionality, matching directory fanout, and the 10 % buffer.
+func DefaultConfig(dim int) Config {
+	return Config{
+		LeafCapacity: store.PageCapacityForBlockSize(32768, dim),
+		DirFanout:    dirFanoutForBlockSize(32768, dim),
+		BufferPages:  -1,
+	}
+}
+
+// dirFanoutForBlockSize returns how many directory entries (an MBR of 2*dim
+// float64 plus a child pointer) fit in a block.
+func dirFanoutForBlockSize(blockSize, dim int) int {
+	per := 16*dim + 8
+	f := blockSize / per
+	if f < 4 {
+		f = 4
+	}
+	return f
+}
+
+// Tree is an X-tree under construction (Insert) or built (Build), after
+// which it serves queries as an engine.Engine.
+type Tree struct {
+	cfg   Config
+	dim   int
+	root  *node
+	count int
+
+	// reinserting guards against reinsertion cascades: at most one forced
+	// reinsertion per top-level insert.
+	reinserting bool
+
+	// Set by Build.
+	built     bool
+	pager     *store.Pager
+	leafRects []geom.Rect // indexed by PageID
+	leafLens  []int       // items per page, indexed by PageID
+}
+
+// New creates an empty X-tree for dim-dimensional items.
+func New(dim int, cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("xtree: dimension must be positive, got %d", dim)
+	}
+	return &Tree{
+		cfg:  cfg,
+		dim:  dim,
+		root: &node{level: 0, rect: geom.EmptyRect(dim)},
+	}, nil
+}
+
+// Insert adds an item to the tree. It fails after Build (the index is
+// static once materialized on the simulated disk, matching the experimental
+// setup) or on dimension mismatch.
+func (t *Tree) Insert(it store.Item) error {
+	if t.built {
+		return fmt.Errorf("xtree: tree is already built")
+	}
+	if it.Vec.Dim() != t.dim {
+		return fmt.Errorf("xtree: item %d has dimension %d, tree expects %d", it.ID, it.Vec.Dim(), t.dim)
+	}
+	t.insertTop(it)
+	t.count++
+	return nil
+}
+
+// insertTop inserts from the root, growing the tree when the root splits.
+func (t *Tree) insertTop(it store.Item) {
+	if sib := t.insertAt(t.root, it); sib != nil {
+		old := t.root
+		t.root = &node{
+			level:    old.level + 1,
+			rect:     old.rect.Union(sib.rect),
+			children: []*node{old, sib},
+			pid:      store.InvalidPage,
+		}
+	}
+}
+
+// insertAt inserts it into the subtree rooted at n and returns a new
+// sibling node if n was split.
+func (t *Tree) insertAt(n *node, it store.Item) *node {
+	if n.isLeaf() {
+		n.items = append(n.items, it)
+		n.rect.Extend(it.Vec)
+		if len(n.items) > t.cfg.LeafCapacity {
+			if t.cfg.ReinsertFraction > 0 && !t.reinserting {
+				t.reinsertOverflow(n)
+				return nil
+			}
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	c := t.chooseSubtree(n, it.Vec)
+	sib := t.insertAt(c, it)
+	n.rect.ExtendRect(c.rect)
+	if sib == nil {
+		return nil
+	}
+	n.children = append(n.children, sib)
+	n.rect.ExtendRect(sib.rect)
+	if len(n.children) > t.dirCapacity(n) {
+		return t.splitDir(n)
+	}
+	return nil
+}
+
+// dirCapacity returns the current capacity of a directory node: the normal
+// fanout, or the next multiple of it for supernodes.
+func (t *Tree) dirCapacity(n *node) int {
+	f := t.cfg.DirFanout
+	if len(n.children) <= f {
+		return f
+	}
+	// Supernode: capacity is the smallest multiple of f that holds the
+	// children that were present before the current overflow.
+	blocks := (len(n.children) - 1 + f - 1) / f
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks * f
+}
+
+// chooseSubtree implements the R*-tree descent criterion: minimal overlap
+// enlargement when the children are leaves, minimal area enlargement
+// otherwise, with area and child count as tie-breakers.
+func (t *Tree) chooseSubtree(n *node, p vec.Vector) *node {
+	// Fast path: children whose MBR already contains p need no
+	// enlargement at all (zero area and zero overlap increase), so the
+	// smallest such child wins outright. This skips the quadratic
+	// overlap computation for the vast majority of inserts.
+	best := -1
+	var bestArea float64
+	for i, c := range n.children {
+		if c.rect.Contains(p) {
+			if a := c.rect.Area(); best == -1 || a < bestArea {
+				best, bestArea = i, a
+			}
+		}
+	}
+	if best >= 0 {
+		return n.children[best]
+	}
+
+	// Area enlargements for every child (one linear pass).
+	areaIncs := make([]float64, len(n.children))
+	areas := make([]float64, len(n.children))
+	for i, c := range n.children {
+		areas[i] = c.rect.Area()
+		areaIncs[i] = c.rect.AreaWithPoint(p) - areas[i]
+	}
+
+	// R*-style criterion. The overlap-enlargement test above the leaf
+	// level is O(f²·d); following the R*-tree's own mitigation, it is
+	// evaluated only for the few children with the least area
+	// enlargement (the rest cannot plausibly win).
+	candidates := identity(len(n.children))
+	if n.level == 1 {
+		const overlapCandidates = 8
+		if len(candidates) > overlapCandidates {
+			sort.Slice(candidates, func(a, b int) bool {
+				if areaIncs[candidates[a]] != areaIncs[candidates[b]] {
+					return areaIncs[candidates[a]] < areaIncs[candidates[b]]
+				}
+				return candidates[a] < candidates[b]
+			})
+			candidates = candidates[:overlapCandidates]
+		}
+	}
+
+	var bestOverlapInc, bestAreaInc float64
+	for _, i := range candidates {
+		c := n.children[i]
+		var overlapInc float64
+		if n.level == 1 {
+			for j, o := range n.children {
+				if j == i {
+					continue
+				}
+				overlapInc += c.rect.OverlapWithPoint(p, o.rect) - c.rect.Overlap(o.rect)
+			}
+		}
+		better := false
+		switch {
+		case best == -1:
+			better = true
+		case n.level == 1 && overlapInc != bestOverlapInc:
+			better = overlapInc < bestOverlapInc
+		case areaIncs[i] != bestAreaInc:
+			better = areaIncs[i] < bestAreaInc
+		default:
+			better = areas[i] < bestArea
+		}
+		if better {
+			best = i
+			bestOverlapInc, bestAreaInc, bestArea = overlapInc, areaIncs[i], areas[i]
+		}
+	}
+	return n.children[best]
+}
+
+// identity returns [0..n).
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// splitLeaf splits an overflowing leaf with the topological split and
+// returns the new right sibling.
+func (t *Tree) splitLeaf(n *node) *node {
+	rects := make([]geom.Rect, len(n.items))
+	for i := range n.items {
+		rects[i] = geom.PointRect(n.items[i].Vec)
+	}
+	minFill := int(math.Ceil(t.cfg.MinFillRatio * float64(len(n.items))))
+	res := topologicalSplit(rects, minFill)
+
+	left := make([]store.Item, 0, len(res.left))
+	right := make([]store.Item, 0, len(res.right))
+	for _, i := range res.left {
+		left = append(left, n.items[i])
+	}
+	for _, i := range res.right {
+		right = append(right, n.items[i])
+	}
+	n.items = left
+	n.rect = res.leftRect
+	hist := n.splitHist | historyBit(res.axis, t.dim)
+	n.splitHist = hist
+	return &node{level: 0, items: right, rect: res.rightRect, pid: store.InvalidPage, splitHist: hist}
+}
+
+// historyBit returns the split-history bit for an axis, or 0 when the
+// dimensionality exceeds the 64 tracked bits.
+func historyBit(axis, dim int) uint64 {
+	if dim > 64 || axis >= 64 {
+		return 0
+	}
+	return 1 << uint(axis)
+}
+
+// splitDir splits an overflowing directory node — unless the best split
+// would overlap more than MaxOverlap of the union volume, in which case the
+// node becomes (or grows as) a supernode and nil is returned. This is the
+// X-tree's central deviation from the R*-tree.
+func (t *Tree) splitDir(n *node) *node {
+	rects := make([]geom.Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.rect
+	}
+	minFill := int(math.Ceil(t.cfg.MinFillRatio * float64(len(n.children))))
+	res := topologicalSplit(rects, minFill)
+	if res.overlapRatio() > t.cfg.MaxOverlap {
+		// The topological split overlaps too much. The X-tree then
+		// consults the split history for a guaranteed overlap-free
+		// split; only when that would be too unbalanced does the node
+		// become (or grow as) a supernode.
+		alt, ok := t.overlapFreeSplit(n, minFill)
+		if !ok {
+			return nil // supernode: capacity grows via dirCapacity
+		}
+		res = alt
+	}
+	left := make([]*node, 0, len(res.left))
+	right := make([]*node, 0, len(res.right))
+	for _, i := range res.left {
+		left = append(left, n.children[i])
+	}
+	for _, i := range res.right {
+		right = append(right, n.children[i])
+	}
+	n.children = left
+	n.rect = res.leftRect
+	hist := n.splitHist | historyBit(res.axis, t.dim)
+	n.splitHist = hist
+	return &node{level: n.level, children: right, rect: res.rightRect, pid: store.InvalidPage, splitHist: hist}
+}
+
+// overlapFreeSplit tries the X-tree's history-based split of a directory
+// node: a dimension d along which *every* child has previously been split
+// admits a zero-overlap partition; among the balanced zero-overlap
+// candidates the most balanced one wins. ok is false when no common split
+// dimension exists or every zero-overlap split violates the minimum fill.
+func (t *Tree) overlapFreeSplit(n *node, minFill int) (splitResult, bool) {
+	if t.dim > 64 || len(n.children) < 2 {
+		return splitResult{}, false
+	}
+	common := ^uint64(0)
+	for _, c := range n.children {
+		common &= c.splitHist
+	}
+	if common == 0 {
+		return splitResult{}, false
+	}
+	rects := make([]geom.Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.rect
+	}
+	nEntries := len(rects)
+	var best splitResult
+	bestBalance := -1
+	for d := 0; d < t.dim && d < 64; d++ {
+		if common&(1<<uint(d)) == 0 {
+			continue
+		}
+		order := sortedOrder(rects, d, false)
+		prefix, suffix := cumulativeRects(rects, order)
+		for k := minFill; k <= nEntries-minFill; k++ {
+			if prefix[k].Overlap(suffix[k]) != 0 {
+				continue
+			}
+			balance := k
+			if nEntries-k < balance {
+				balance = nEntries - k
+			}
+			if balance > bestBalance {
+				bestBalance = balance
+				best = splitResult{
+					left:      append([]int(nil), order[:k]...),
+					right:     append([]int(nil), order[k:]...),
+					leftRect:  prefix[k].Clone(),
+					rightRect: suffix[k].Clone(),
+					overlap:   0,
+					axis:      d,
+				}
+			}
+		}
+	}
+	return best, bestBalance >= 0
+}
+
+// Build materializes the leaf level as data pages on a fresh simulated
+// disk, laid out in tree (DFS) order so that physically close pages are
+// spatially close. After Build the tree is immutable and serves queries.
+func (t *Tree) Build() error {
+	if t.built {
+		return fmt.Errorf("xtree: already built")
+	}
+	var pages []*store.Page
+	var rects []geom.Rect
+	var lens []int
+	var flush func(n *node)
+	flush = func(n *node) {
+		if n.isLeaf() {
+			n.pid = store.PageID(len(pages))
+			pages = append(pages, &store.Page{ID: n.pid, Items: n.items})
+			rects = append(rects, n.rect)
+			lens = append(lens, len(n.items))
+			return
+		}
+		for _, c := range n.children {
+			flush(c)
+		}
+	}
+	flush(t.root)
+
+	disk, err := store.NewDisk(pages)
+	if err != nil {
+		return fmt.Errorf("xtree: %w", err)
+	}
+	bufPages := t.cfg.BufferPages
+	if bufPages < 0 {
+		bufPages = store.DefaultBufferPages(len(pages))
+	}
+	var buf *store.Buffer
+	if bufPages > 0 {
+		if buf, err = store.NewBuffer(bufPages); err != nil {
+			return fmt.Errorf("xtree: %w", err)
+		}
+	}
+	pager, err := store.NewPager(disk, buf)
+	if err != nil {
+		return fmt.Errorf("xtree: %w", err)
+	}
+	t.pager = pager
+	t.leafRects = rects
+	t.leafLens = lens
+	t.built = true
+	return nil
+}
+
+// Bulk builds an X-tree over items using dynamic insertion followed by
+// Build — the convenience path used by the experiments.
+func Bulk(items []store.Item, dim int, cfg Config) (*Tree, error) {
+	t, err := New(dim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		if err := t.Insert(it); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Build(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Stats returns shape statistics of the tree.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	s.Height = t.root.level + 1
+	collectStats(t.root, t.cfg.DirFanout, &s)
+	return s
+}
+
+// Built reports whether Build has run.
+func (t *Tree) Built() bool { return t.built }
+
+// Len returns the number of inserted items.
+func (t *Tree) Len() int { return t.count }
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// reinsertOverflow implements R* forced reinsertion: the fraction of the
+// overflowing leaf's items farthest from its center are removed and
+// reinserted from the root, tightening the leaf's MBR. Ancestor MBRs stay
+// valid supersets (they are never shrunk), so in-flight descents remain
+// correct. The reinserting flag limits the mechanism to once per
+// top-level insertion, as in the R*-tree.
+func (t *Tree) reinsertOverflow(n *node) {
+	center := n.rect.Center()
+	m := vec.BaseMetric(t.cfg.Metric)
+	type withDist struct {
+		item store.Item
+		d    float64
+	}
+	scored := make([]withDist, len(n.items))
+	for i, it := range n.items {
+		scored[i] = withDist{item: it, d: m.Distance(center, it.Vec)}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].d != scored[j].d {
+			return scored[i].d > scored[j].d // farthest first
+		}
+		return scored[i].item.ID < scored[j].item.ID
+	})
+	k := int(t.cfg.ReinsertFraction * float64(len(scored)))
+	if k < 1 {
+		k = 1
+	}
+	removed := make([]store.Item, k)
+	for i := 0; i < k; i++ {
+		removed[i] = scored[i].item
+	}
+	n.items = n.items[:0]
+	for _, s := range scored[k:] {
+		n.items = append(n.items, s.item)
+	}
+	n.recompute(t.dim)
+
+	t.reinserting = true
+	defer func() { t.reinserting = false }()
+	// Close-reinsert order: nearest removed items first (R* default).
+	for i := k - 1; i >= 0; i-- {
+		t.insertTop(removed[i])
+	}
+}

@@ -1,0 +1,77 @@
+package metricdb
+
+import (
+	"metricdb/internal/explore"
+	"metricdb/internal/query"
+)
+
+// exploreConfig builds the framework configuration for this database.
+func (db *DB) exploreConfig(t QueryType, batchSize int) explore.Config {
+	return explore.Config{
+		Proc:      db.proc,
+		Items:     db.items,
+		SimType:   t,
+		BatchSize: batchSize,
+	}
+}
+
+// Explore runs the ExploreNeighborhoods scheme (Figure 2): starting from
+// the given objects, neighborhoods of type t are retrieved iteratively and
+// the hooks decide what to process and which answers become new query
+// objects. Queries are issued one at a time.
+func (db *DB) Explore(start []ItemID, t QueryType, hooks Hooks) (ExploreStats, error) {
+	return explore.Run(db.exploreConfig(t, 0), start, hooks)
+}
+
+// ExploreMultiple runs the transformed ExploreNeighborhoodsMultiple scheme
+// (Figure 3): identical results, but up to batchSize pending query objects
+// are evaluated together as one multiple similarity query per step.
+func (db *DB) ExploreMultiple(start []ItemID, t QueryType, batchSize int, hooks Hooks) (ExploreStats, error) {
+	return explore.RunMultiple(db.exploreConfig(t, batchSize), start, hooks)
+}
+
+// DBSCAN clusters the database with density parameters eps and minPts,
+// issuing its neighborhood queries as multiple similarity queries of the
+// given batch size (values below 2 disable batching).
+func (db *DB) DBSCAN(eps float64, minPts, batchSize int) (*DBSCANResult, error) {
+	return explore.DBSCAN(db.exploreConfig(query.Type{}, batchSize), eps, minPts)
+}
+
+// ClassifyKNN assigns each object the majority label of its k nearest
+// database neighbors — the simultaneous-classification workload. Queries
+// run in blocks of batchSize.
+func (db *DB) ClassifyKNN(objects []Vector, k, batchSize int) ([]int, ExploreStats, error) {
+	return explore.ClassifyKNN(db.exploreConfig(query.Type{}, batchSize), objects, k)
+}
+
+// SimulateExploration runs the manual-data-exploration workload of the
+// paper's evaluation: ec.Users concurrent users each follow ec.Rounds
+// navigation steps; every round prefetches the k-NN of all current answers
+// as one block of multiple similarity queries.
+func (db *DB) SimulateExploration(ec ExplorationConfig) (ExploreStats, error) {
+	return explore.SimulateExploration(db.exploreConfig(query.Type{}, 0), ec)
+}
+
+// ProximityTopK returns the k database objects closest to the given
+// cluster (minimum distance to any member, members excluded).
+func (db *DB) ProximityTopK(cluster []ItemID, k, batchSize int) ([]Answer, ExploreStats, error) {
+	return explore.ProximityTopK(db.exploreConfig(query.Type{}, batchSize), cluster, k)
+}
+
+// CommonFeatures analyzes the given objects and flags dimensions whose
+// spread is below ratio times the database-wide spread.
+func (db *DB) CommonFeatures(ids []ItemID, ratio float64) ([]Feature, error) {
+	return explore.CommonFeatures(db.items, ids, ratio)
+}
+
+// DetectTrends grows neighborhood paths from start and reports paths along
+// which attr changes regularly (spatial trend detection).
+func (db *DB) DetectTrends(start ItemID, attr func(Item) float64, tc TrendConfig, batchSize int) ([]Trend, ExploreStats, error) {
+	return explore.DetectTrends(db.exploreConfig(query.Type{}, batchSize), start, attr, tc)
+}
+
+// AssociationRules discovers spatial association rules fromType → X over
+// eps-neighborhoods, keeping rules meeting both thresholds.
+func (db *DB) AssociationRules(fromType int, eps, minSupport, minConfidence float64, batchSize int) ([]Rule, ExploreStats, error) {
+	return explore.SpatialAssociationRules(db.exploreConfig(query.Type{}, batchSize), fromType, eps, minSupport, minConfidence)
+}
