@@ -1,0 +1,23 @@
+.PHONY: check fmt vet build test race bench
+
+# The pre-PR gate: formatting, static analysis, build, race-enabled tests.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem -run=^$$

@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
+//
+// The chaos experiment is not a paper figure: it declusters each workload
+// over 4 servers, injects disk faults into 0..3 of them, and reports the
+// degraded-mode coverage and recall of the surviving cluster.
 //
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
@@ -52,7 +56,7 @@ func run(experiment, scaleName, csvDir string, measure bool) error {
 
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
-		"fig9": true, "fig10": true, "fig11": true, "fig12": true}
+		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -87,7 +91,8 @@ func run(experiment, scaleName, csvDir string, measure bool) error {
 
 	needSweep := want("fig7") || want("fig8") || want("fig9") || want("fig10")
 	needParallel := want("fig11") || want("fig12")
-	if !needSweep && !needParallel {
+	needChaos := want("chaos")
+	if !needSweep && !needParallel && !needChaos {
 		return nil
 	}
 
@@ -129,6 +134,18 @@ func run(experiment, scaleName, csvDir string, measure bool) error {
 						return err
 					}
 				}
+			}
+		}
+	}
+
+	if needChaos {
+		for _, wl := range workloads {
+			res, err := experiments.RunChaos(wl.w, 4, sc.BaseM)
+			if err != nil {
+				return err
+			}
+			if err := emit(res.Figure()); err != nil {
+				return err
 			}
 		}
 	}

@@ -7,6 +7,8 @@
 //
 //	msqserver -addr :7707 [-data file.gob] [-n 20000] [-dim 16]
 //	          [-engine scan|xtree|vafile]
+//	          [-max-conns 0] [-max-request-bytes 1048576]
+//	          [-read-timeout 0] [-write-timeout 10s] [-drain 5s]
 //
 // Request/response format (one JSON object per line):
 //
@@ -14,13 +16,25 @@
 //	{"op":"multi","queries":[{"id":1,"vector":[...],"kind":"range","range":0.5}, ...]}
 //	{"op":"multi_all","queries":[...]}
 //	{"op":"stats"}
+//	{"op":"ping"}
+//
+// Error responses carry a code ("bad_request", "engine_error", "overload",
+// "shutting_down"); malformed requests get a final error response instead
+// of a dropped connection. SIGINT/SIGTERM drain gracefully: the listener
+// closes, in-flight requests finish within the -drain grace period, then
+// remaining connections are force-closed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"metricdb"
 	"metricdb/internal/dataset"
@@ -34,15 +48,28 @@ func main() {
 		n        = flag.Int("n", 20000, "generated dataset size")
 		dim      = flag.Int("dim", 16, "generated dataset dimensionality")
 		engine   = flag.String("engine", "xtree", "physical organization: scan, xtree or vafile")
+
+		maxConns  = flag.Int("max-conns", 0, "concurrent connection limit (0 = unlimited)")
+		maxReqLen = flag.Int("max-request-bytes", wire.DefaultMaxRequestBytes, "request line size cap")
+		readTO    = flag.Duration("read-timeout", 0, "idle read deadline per connection (0 = none)")
+		writeTO   = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace period")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataFile, *n, *dim, *engine); err != nil {
+	cfg := wire.ServerConfig{
+		ReadTimeout:     *readTO,
+		WriteTimeout:    *writeTO,
+		MaxRequestBytes: *maxReqLen,
+		MaxConns:        *maxConns,
+		Logf:            log.Printf,
+	}
+	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "msqserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataFile string, n, dim int, engine string) error {
+func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig, drain time.Duration) error {
 	var items []metricdb.Item
 	var err error
 	if dataFile != "" {
@@ -54,22 +81,48 @@ func run(addr, dataFile string, n, dim int, engine string) error {
 		return err
 	}
 
-	srv, lis, err := serve(addr, items, engine)
+	srv, lis, err := serve(addr, items, engine, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serving %d items (%s engine) on %s\n", len(items), engine, lis.Addr())
-	defer srv.Close()
-	return srv.Serve(lis)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	draining := make(chan struct{})
+	drained := make(chan error, 1)
+	go func() {
+		s := <-sig
+		log.Printf("msqserver: received %v, draining (grace %v)", s, drain)
+		close(draining)
+		drained <- srv.Shutdown(drain)
+	}()
+
+	err = srv.Serve(lis)
+	select {
+	case <-draining:
+		// Shutdown closed the listener, which is what made Serve return;
+		// wait for the drain to finish and report its outcome instead of
+		// Serve's expected net.ErrClosed.
+		derr := <-drained
+		if errors.Is(err, net.ErrClosed) {
+			err = derr
+		}
+		log.Printf("msqserver: drained")
+	default:
+		srv.Close() //nolint:errcheck
+	}
+	signal.Stop(sig)
+	return err
 }
 
 // serve builds the database and binds the listener (separated for tests).
-func serve(addr string, items []metricdb.Item, engine string) (*wire.Server, net.Listener, error) {
+func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerConfig) (*wire.Server, net.Listener, error) {
 	db, err := metricdb.Open(items, metricdb.Options{Engine: metricdb.EngineKind(engine)})
 	if err != nil {
 		return nil, nil, err
 	}
-	srv, err := wire.NewServer(db.Processor())
+	srv, err := wire.NewServerWithConfig(db.Processor(), cfg)
 	if err != nil {
 		return nil, nil, err
 	}

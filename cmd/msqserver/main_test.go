@@ -1,7 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
 	"testing"
+	"time"
 
 	"metricdb/internal/dataset"
 	"metricdb/internal/wire"
@@ -9,7 +14,7 @@ import (
 
 func TestServeEndToEnd(t *testing.T) {
 	items := dataset.Uniform(3, 500, 4)
-	srv, lis, err := serve("127.0.0.1:0", items, "xtree")
+	srv, lis, err := serve("127.0.0.1:0", items, "xtree", wire.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,6 +26,9 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
 	answers, stats, err := c.Query(wire.QuerySpec{
 		Vector: []float64{0.5, 0.5, 0.5, 0.5}, Kind: "knn", K: 7,
 	})
@@ -34,7 +42,73 @@ func TestServeEndToEnd(t *testing.T) {
 
 func TestServeRejectsBadEngine(t *testing.T) {
 	items := dataset.Uniform(4, 50, 3)
-	if _, _, err := serve("127.0.0.1:0", items, "btree"); err == nil {
+	if _, _, err := serve("127.0.0.1:0", items, "btree", wire.ServerConfig{}); err == nil {
 		t.Error("unknown engine accepted")
+	}
+}
+
+// TestMalformedRequestGetsErrorResponse is the satellite contract: garbage
+// on the wire yields a JSON error response with a bad_request code, not a
+// silently dropped connection.
+func TestMalformedRequestGetsErrorResponse(t *testing.T) {
+	items := dataset.Uniform(5, 200, 3)
+	srv, lis, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("{this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("no error response before close: %v", err)
+	}
+	if resp.Code != wire.CodeBadRequest || !strings.Contains(resp.Err, "malformed") {
+		t.Errorf("response = %+v, want bad_request", resp)
+	}
+}
+
+// TestGracefulDrain exercises the SIGINT/SIGTERM path: Shutdown stops the
+// listener, lets connected clients finish, and Serve returns cleanly.
+func TestGracefulDrain(t *testing.T) {
+	items := dataset.Uniform(6, 300, 3)
+	srv, lis, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(lis) }()
+
+	c, err := wire.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Query(wire.QuerySpec{Vector: []float64{0.1, 0.2, 0.3}, Kind: "knn", K: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-served:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Serve returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	// New connections are refused after the drain.
+	if _, err := net.DialTimeout("tcp", lis.Addr().String(), time.Second); err == nil {
+		t.Error("listener still accepting after Shutdown")
 	}
 }

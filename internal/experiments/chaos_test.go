@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestRunChaos exercises the degraded-mode experiment end to end on a
+// small astronomy workload: RunChaos itself asserts soundness (range
+// subset-ness, k-NN rank-wise distance domination), so the test checks
+// the monotone shape of the reported coverage and recall.
+func TestRunChaos(t *testing.T) {
+	sc := testScale()
+	res, err := RunChaos(Astronomy(sc), 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedServers) != 4 {
+		t.Fatalf("%d failure counts, want 4", len(res.FailedServers))
+	}
+	if res.Coverage[0] != 1 || res.Recall[0] != 1 {
+		t.Fatalf("fault-free run degraded: coverage=%g recall=%g", res.Coverage[0], res.Recall[0])
+	}
+	for f := 1; f < 4; f++ {
+		wantCov := float64(4-f) / 4
+		if res.Coverage[f] != wantCov {
+			t.Errorf("f=%d: coverage %g, want %g", f, res.Coverage[f], wantCov)
+		}
+		if res.Recall[f] > res.Recall[f-1]+1e-9 {
+			t.Errorf("recall increased with more failures: %v", res.Recall)
+		}
+	}
+	fig := res.Figure()
+	if len(fig.Series) != 2 || len(fig.XVals) != 4 {
+		t.Errorf("figure shape: %d series, %d x-values", len(fig.Series), len(fig.XVals))
+	}
+}

@@ -507,7 +507,7 @@ func TestExplorationSurfacesDiskErrors(t *testing.T) {
 	items := dataset.Uniform(30, 200, 3)
 	cfg := newConfig(t, items, query.NewKNN(3), 4)
 	boom := errors.New("boom")
-	cfg.Proc.Engine().Pager().Disk().FailOn(func(pid store.PageID) error {
+	cfg.Proc.Engine().Pager().Disk().(*store.Disk).FailOn(func(pid store.PageID) error {
 		if pid >= 2 {
 			return boom
 		}

@@ -1,0 +1,163 @@
+package fault_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/engine"
+	"metricdb/internal/fault"
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+	"metricdb/internal/scan"
+	"metricdb/internal/store"
+	"metricdb/internal/vafile"
+	"metricdb/internal/vec"
+	"metricdb/internal/xtree"
+)
+
+// engineMaker builds one of the three physical organizations over items,
+// optionally on fault-injected storage.
+type engineMaker struct {
+	name string
+	make func(items []store.Item, wrap func(store.PageSource) (store.PageSource, error)) (engine.Engine, error)
+}
+
+func makers(dim int) []engineMaker {
+	return []engineMaker{
+		{"scan", func(items []store.Item, wrap func(store.PageSource) (store.PageSource, error)) (engine.Engine, error) {
+			return scan.NewWithConfig(items, scan.Config{PageCapacity: 16, WrapDisk: wrap})
+		}},
+		{"xtree", func(items []store.Item, wrap func(store.PageSource) (store.PageSource, error)) (engine.Engine, error) {
+			cfg := xtree.Config{LeafCapacity: 16, DirFanout: 8, WrapDisk: wrap}
+			return xtree.Bulk(items, dim, cfg)
+		}},
+		{"vafile", func(items []store.Item, wrap func(store.PageSource) (store.PageSource, error)) (engine.Engine, error) {
+			return vafile.New(items, vafile.Config{PageCapacity: 16, WrapDisk: wrap})
+		}},
+	}
+}
+
+// TestEnginesOnFaultyDiskRecover injects a bounded fault budget under each
+// engine, retries queries until the budget is exhausted, and asserts the
+// answers are identical to a fault-free run — faults delay, never corrupt.
+func TestEnginesOnFaultyDiskRecover(t *testing.T) {
+	const dim = 4
+	items := dataset.Uniform(11, 400, dim)
+	queries := []msq.Query{
+		{ID: 1, Vec: items[10].Vec, Type: query.NewKNN(5)},
+		{ID: 2, Vec: items[200].Vec, Type: query.NewRange(0.35)},
+		{ID: 3, Vec: items[333].Vec, Type: query.NewBoundedKNN(4, 0.5)},
+	}
+
+	for _, mk := range makers(dim) {
+		t.Run(mk.name, func(t *testing.T) {
+			clean, err := mk.make(items, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cleanProc, err := msq.New(clean, vec.Euclidean{}, msq.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := cleanProc.MultiQuery(queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var injector *fault.Disk
+			faulty, err := mk.make(items, func(src store.PageSource) (store.PageSource, error) {
+				injector, err = fault.Wrap(src, fault.Config{Seed: 5, ErrProb: 1, MaxFaults: 3})
+				return injector, err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if injector == nil {
+				t.Fatal("WrapDisk hook was not invoked")
+			}
+			proc, err := msq.New(faulty, vec.Euclidean{}, msq.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var got []*query.AnswerList
+			attempts := 0
+			for {
+				attempts++
+				if attempts > 10 {
+					t.Fatal("queries never recovered")
+				}
+				res, _, err := proc.MultiQuery(queries)
+				if err == nil {
+					got = res
+					break
+				}
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("attempt %d: non-injected error %v", attempts, err)
+				}
+			}
+			if attempts < 2 {
+				t.Fatalf("first attempt succeeded; no fault was injected (stats %+v)", injector.FaultStats())
+			}
+			if !injector.Exhausted() {
+				t.Errorf("fault budget not exhausted: %+v", injector.FaultStats())
+			}
+
+			for qi := range queries {
+				w, g := want[qi].Answers(), got[qi].Answers()
+				if len(w) != len(g) {
+					t.Fatalf("query %d: %d answers after recovery, want %d", qi, len(g), len(w))
+				}
+				for j := range w {
+					if w[j].ID != g[j].ID || math.Abs(w[j].Dist-g[j].Dist) > 1e-12 {
+						t.Fatalf("query %d answer %d differs after recovery", qi, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestZeroProbabilityInjectorIsInvisible runs a real query workload through
+// each engine twice — bare disk vs. zero-config injector — and asserts
+// bit-for-bit identical processing statistics and I/O counters.
+func TestZeroProbabilityInjectorIsInvisible(t *testing.T) {
+	const dim = 3
+	items := dataset.Uniform(12, 300, dim)
+	queries := []msq.Query{
+		{ID: 1, Vec: items[5].Vec, Type: query.NewKNN(7)},
+		{ID: 2, Vec: items[150].Vec, Type: query.NewRange(0.4)},
+	}
+
+	for _, mk := range makers(dim) {
+		t.Run(mk.name, func(t *testing.T) {
+			run := func(wrap func(store.PageSource) (store.PageSource, error)) (msq.Stats, store.IOStats) {
+				eng, err := mk.make(items, wrap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				proc, err := msq.New(eng, vec.Euclidean{}, msq.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, st, err := proc.MultiQuery(queries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st, eng.Pager().Disk().Stats()
+			}
+			bareStats, bareIO := run(nil)
+			injStats, injIO := run(func(src store.PageSource) (store.PageSource, error) {
+				return fault.Wrap(src, fault.Config{})
+			})
+			if bareStats != injStats {
+				t.Errorf("query stats diverged:\nbare %+v\ninj  %+v", bareStats, injStats)
+			}
+			if bareIO != injIO {
+				t.Errorf("io stats diverged: bare %+v, inj %+v", bareIO, injIO)
+			}
+		})
+	}
+}

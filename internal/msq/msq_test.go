@@ -455,7 +455,7 @@ func TestMultiQuerySurfacesDiskErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	e.Pager().Disk().FailOn(func(pid store.PageID) error {
+	e.Pager().Disk().(*store.Disk).FailOn(func(pid store.PageID) error {
 		if pid == 3 {
 			return boom
 		}
@@ -808,7 +808,7 @@ func TestRankingSurfacesErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	e.Pager().Disk().FailOn(func(store.PageID) error { return boom })
+	e.Pager().Disk().(*store.Disk).FailOn(func(store.PageID) error { return boom })
 	p, err := New(e, vec.Euclidean{}, Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"metricdb/internal/engine"
 	"metricdb/internal/msq"
@@ -127,6 +128,30 @@ type Config struct {
 	Metric      vec.Metric
 	// Avoidance is forwarded to each server's processor.
 	Avoidance msq.AvoidanceMode
+
+	// WrapDisk, when non-nil, interposes on each server's freshly built
+	// disk — the fault-injection hook. It is called once per server with
+	// the server index, so faults can be confined to chosen partitions;
+	// returning the source unchanged leaves that server on reliable
+	// storage.
+	WrapDisk func(server int, src store.PageSource) (store.PageSource, error)
+
+	// Timeout bounds each server's work per cluster operation (per
+	// attempt); zero means no timeout. A timed-out attempt counts as a
+	// failure and is retried like any other.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a failed or
+	// timed-out server call.
+	Retries int
+	// Backoff is the wait before the first retry, doubling on each
+	// subsequent one. Zero retries immediately.
+	Backoff time.Duration
+	// Degrade allows partial results: when a server still fails after all
+	// retries, the cluster merges the surviving servers' answers and
+	// reports a degraded result (coverage < 1) instead of an error. With
+	// Degrade false any server failure fails the whole operation, the
+	// pre-existing strict behavior.
+	Degrade bool
 }
 
 // server is one shared-nothing node.
@@ -140,6 +165,7 @@ type server struct {
 type Cluster struct {
 	servers []*server
 	metric  vec.Metric
+	cfg     Config
 }
 
 // New declusters items and builds one engine and processor per server.
@@ -157,8 +183,15 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{metric: cfg.Metric, servers: make([]*server, cfg.Servers)}
+	c := &Cluster{metric: cfg.Metric, servers: make([]*server, cfg.Servers), cfg: cfg}
 	for i, part := range parts {
+		var wrap func(store.PageSource) (store.PageSource, error)
+		if cfg.WrapDisk != nil {
+			si := i
+			wrap = func(src store.PageSource) (store.PageSource, error) {
+				return cfg.WrapDisk(si, src)
+			}
+		}
 		var eng engine.Engine
 		switch cfg.Engine {
 		case ScanEngine:
@@ -166,18 +199,24 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 			if buf < 0 {
 				buf = store.DefaultBufferPages((len(part) + cfg.PageCapacity - 1) / cfg.PageCapacity)
 			}
-			eng, err = scan.New(part, cfg.PageCapacity, buf)
+			eng, err = scan.NewWithConfig(part, scan.Config{
+				PageCapacity: cfg.PageCapacity,
+				BufferPages:  buf,
+				WrapDisk:     wrap,
+			})
 		case VAFileEngine:
 			eng, err = vafile.New(part, vafile.Config{
 				PageCapacity: cfg.PageCapacity,
 				BufferPages:  cfg.BufferPages,
 				Metric:       cfg.Metric,
+				WrapDisk:     wrap,
 			})
 		case XTreeEngine:
 			xcfg := xtree.DefaultConfig(cfg.Dim)
 			xcfg.LeafCapacity = cfg.PageCapacity
 			xcfg.BufferPages = cfg.BufferPages
 			xcfg.Metric = cfg.Metric
+			xcfg.WrapDisk = wrap
 			eng, err = xtree.Bulk(part, cfg.Dim, xcfg)
 		default:
 			return nil, fmt.Errorf("parallel: unknown engine kind %d", cfg.Engine)
@@ -199,24 +238,72 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 // Servers returns the number of servers.
 func (c *Cluster) Servers() int { return len(c.servers) }
 
-// ServerStats is the per-server cost of one cluster operation.
-type ServerStats struct {
-	Query msq.Stats
-	IO    store.IOStats
+// ServerHealth describes one server's fate during a cluster operation.
+type ServerHealth struct {
+	// OK is true when the server contributed answers.
+	OK bool
+	// Attempts counts calls made to the server (1 for a first-try
+	// success).
+	Attempts int
+	// Err holds the final failure, empty on success.
+	Err string
 }
 
-// Report carries per-server costs of one parallel operation.
+// ServerStats is the per-server cost and health of one cluster operation.
+type ServerStats struct {
+	Query  msq.Stats
+	IO     store.IOStats
+	Health ServerHealth
+}
+
+// Report carries per-server costs and the degradation state of one
+// parallel operation.
 type Report struct {
 	PerServer []ServerStats
+	// Degraded is true when at least one server failed and the merged
+	// result covers only the surviving partitions.
+	Degraded bool
+	// Servers and Covered count partitions total and partitions answered;
+	// Covered/Servers is the coverage fraction of the merged result.
+	Servers int
+	Covered int
 }
 
-// Sum returns the total work across servers (throughput view).
+// Coverage returns the fraction of partitions that contributed answers
+// (1 when the report predates any operation).
+func (r Report) Coverage() float64 {
+	if r.Servers == 0 {
+		return 1
+	}
+	return float64(r.Covered) / float64(r.Servers)
+}
+
+// Note states the correctness contract of the report's result. Degraded
+// results exploit the union-merge property: every answer returned was
+// truly within the query's constraint on some surviving partition, so
+// answer lists are a sound subset of the fault-free result; k-NN answers
+// become "up to k nearest among the covered partitions" (bounded-k-NN
+// semantics).
+func (r Report) Note() string {
+	if !r.Degraded {
+		return "complete: all partitions answered"
+	}
+	return fmt.Sprintf("degraded: %d/%d partitions answered; answers are a sound subset "+
+		"of the fault-free result, k-NN lists are bounded-k-NN over the covered partitions",
+		r.Covered, r.Servers)
+}
+
+// Sum returns the total work across servers (throughput view). The summed
+// query stats carry the report's degradation state and coverage counters.
 func (r Report) Sum() ServerStats {
 	var out ServerStats
 	for _, s := range r.PerServer {
 		out.Query = out.Query.Add(s.Query)
 		out.IO = out.IO.Add(s.IO)
 	}
+	out.Query.Degraded = r.Degraded
+	out.Query.PartitionsTotal = int64(r.Servers)
+	out.Query.PartitionsAnswered = int64(r.Covered)
 	return out
 }
 
@@ -247,8 +334,17 @@ func (r Report) MaxDistCalcs() int64 {
 // MultiQueryAll evaluates the batch to completion on every server in
 // parallel and merges the per-server answers into global answers, aligned
 // with queries.
+//
+// Each server call is bounded by Config.Timeout and retried up to
+// Config.Retries times with exponential backoff. When a server still fails
+// and Config.Degrade is set, the surviving servers' answers are merged
+// into a degraded result (Report.Degraded, coverage < 1): by the
+// union-merge property every returned answer genuinely satisfies its query
+// on a covered partition, so the lists are a sound subset of the
+// fault-free result. Without Degrade any persistent server failure fails
+// the whole operation.
 func (c *Cluster) MultiQueryAll(queries []msq.Query) ([]*query.AnswerList, Report, error) {
-	report := Report{PerServer: make([]ServerStats, len(c.servers))}
+	report := Report{PerServer: make([]ServerStats, len(c.servers)), Servers: len(c.servers)}
 	perServer := make([][]*query.AnswerList, len(c.servers))
 	errs := make([]error, len(c.servers))
 
@@ -257,30 +353,53 @@ func (c *Cluster) MultiQueryAll(queries []msq.Query) ([]*query.AnswerList, Repor
 		wg.Add(1)
 		go func(i int, srv *server) {
 			defer wg.Done()
-			ioBefore := srv.eng.Pager().Disk().Stats()
-			res, st, err := srv.proc.MultiQuery(queries)
-			if err != nil {
-				errs[i] = err
-				return
+			attempts := 0
+			backoff := c.cfg.Backoff
+			var lastErr error
+			for try := 0; try <= c.cfg.Retries; try++ {
+				if try > 0 && backoff > 0 {
+					time.Sleep(backoff)
+					backoff *= 2
+				}
+				attempts++
+				res, st, err := c.callServer(srv, queries)
+				if err == nil {
+					perServer[i] = res
+					st.Health = ServerHealth{OK: true, Attempts: attempts}
+					report.PerServer[i] = st
+					return
+				}
+				lastErr = err
 			}
-			perServer[i] = res
-			report.PerServer[i] = ServerStats{
-				Query: st,
-				IO:    diffIO(srv.eng.Pager().Disk().Stats(), ioBefore),
-			}
+			report.PerServer[i].Health = ServerHealth{Attempts: attempts, Err: lastErr.Error()}
+			errs[i] = lastErr
 		}(i, srv)
 	}
 	wg.Wait()
+
+	var firstErr error
+	firstIdx := -1
 	for i, err := range errs {
-		if err != nil {
-			return nil, report, fmt.Errorf("parallel: server %d: %w", i, err)
+		if err == nil {
+			report.Covered++
+		} else if firstErr == nil {
+			firstErr, firstIdx = err, i
 		}
+	}
+	if firstErr != nil {
+		if !c.cfg.Degrade || report.Covered == 0 {
+			return nil, report, fmt.Errorf("parallel: server %d: %w", firstIdx, firstErr)
+		}
+		report.Degraded = true
 	}
 
 	merged := make([]*query.AnswerList, len(queries))
 	for qi := range queries {
 		l := query.NewAnswerList(queries[qi].Type)
 		for si := range c.servers {
+			if errs[si] != nil {
+				continue
+			}
 			for _, a := range perServer[si][qi].Answers() {
 				l.Consider(a.ID, a.Dist)
 			}
@@ -288,6 +407,42 @@ func (c *Cluster) MultiQueryAll(queries []msq.Query) ([]*query.AnswerList, Repor
 		merged[qi] = l
 	}
 	return merged, report, nil
+}
+
+// callServer runs one batch on one server, optionally bounded by the
+// configured timeout. Engines are not cancellable, so a timed-out attempt
+// is abandoned: its goroutine finishes in the background (its I/O still
+// shows up in the server's cumulative disk statistics) and its result is
+// discarded.
+func (c *Cluster) callServer(srv *server, queries []msq.Query) ([]*query.AnswerList, ServerStats, error) {
+	type outcome struct {
+		res []*query.AnswerList
+		st  ServerStats
+		err error
+	}
+	run := func() outcome {
+		ioBefore := srv.eng.Pager().Disk().Stats()
+		res, st, err := srv.proc.MultiQuery(queries)
+		io := diffIO(srv.eng.Pager().Disk().Stats(), ioBefore)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{res: res, st: ServerStats{Query: st, IO: io}}
+	}
+	if c.cfg.Timeout <= 0 {
+		o := run()
+		return o.res, o.st, o.err
+	}
+	ch := make(chan outcome, 1)
+	go func() { ch <- run() }()
+	timer := time.NewTimer(c.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.st, o.err
+	case <-timer.C:
+		return nil, ServerStats{}, fmt.Errorf("parallel: server timed out after %v", c.cfg.Timeout)
+	}
 }
 
 // Single evaluates one similarity query on all servers and merges the

@@ -25,14 +25,31 @@ type Engine struct {
 
 var _ engine.Engine = (*Engine)(nil)
 
+// Config parameterizes a scan engine.
+type Config struct {
+	// PageCapacity is the number of items per data page. Required.
+	PageCapacity int
+	// BufferPages sizes the LRU buffer; 0 disables buffering.
+	BufferPages int
+	// WrapDisk, when non-nil, interposes on the freshly built disk before
+	// the pager is attached — the hook used to run the engine on
+	// fault-injected storage.
+	WrapDisk func(store.PageSource) (store.PageSource, error)
+}
+
 // New builds a scan engine over items, paginating them into pages of
 // pageCapacity items on a fresh simulated disk with an LRU buffer of
 // bufferPages pages (0 disables buffering).
 func New(items []store.Item, pageCapacity, bufferPages int) (*Engine, error) {
-	if bufferPages < 0 {
-		return nil, fmt.Errorf("scan: bufferPages must be >= 0, got %d", bufferPages)
+	return NewWithConfig(items, Config{PageCapacity: pageCapacity, BufferPages: bufferPages})
+}
+
+// NewWithConfig builds a scan engine over items according to cfg.
+func NewWithConfig(items []store.Item, cfg Config) (*Engine, error) {
+	if cfg.BufferPages < 0 {
+		return nil, fmt.Errorf("scan: bufferPages must be >= 0, got %d", cfg.BufferPages)
 	}
-	pages, err := store.Paginate(items, pageCapacity)
+	pages, err := store.Paginate(items, cfg.PageCapacity)
 	if err != nil {
 		return nil, fmt.Errorf("scan: %w", err)
 	}
@@ -40,13 +57,19 @@ func New(items []store.Item, pageCapacity, bufferPages int) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scan: %w", err)
 	}
-	var buf *store.Buffer
-	if bufferPages > 0 {
-		if buf, err = store.NewBuffer(bufferPages); err != nil {
+	var src store.PageSource = disk
+	if cfg.WrapDisk != nil {
+		if src, err = cfg.WrapDisk(disk); err != nil {
 			return nil, fmt.Errorf("scan: %w", err)
 		}
 	}
-	pager, err := store.NewPager(disk, buf)
+	var buf *store.Buffer
+	if cfg.BufferPages > 0 {
+		if buf, err = store.NewBuffer(cfg.BufferPages); err != nil {
+			return nil, fmt.Errorf("scan: %w", err)
+		}
+	}
+	pager, err := store.NewPager(src, buf)
 	if err != nil {
 		return nil, fmt.Errorf("scan: %w", err)
 	}

@@ -26,6 +26,22 @@ func (s IOStats) Add(t IOStats) IOStats {
 	}
 }
 
+// PageSource is the disk interface the Pager reads through. *Disk is the
+// canonical implementation; wrappers (e.g. the fault injector in
+// internal/fault) interpose on Read while delegating the statistics, so an
+// engine can run on unreliable storage without knowing it.
+type PageSource interface {
+	// Read fetches the page at pid.
+	Read(pid PageID) (*Page, error)
+	// NumPages returns the number of pages on the disk.
+	NumPages() int
+	// Stats returns a snapshot of the I/O statistics.
+	Stats() IOStats
+	// ResetStats zeroes the I/O statistics and returns the previous
+	// snapshot.
+	ResetStats() IOStats
+}
+
 // Disk simulates a disk holding data pages at consecutive physical
 // addresses. It is safe for concurrent use.
 type Disk struct {
@@ -39,6 +55,8 @@ type Disk struct {
 // NewDisk creates a disk from pages. Pages must have consecutive IDs
 // starting at 0 (as produced by Paginate); NewDisk returns an error
 // otherwise, because physical-order sequential I/O accounting depends on it.
+var _ PageSource = (*Disk)(nil)
+
 func NewDisk(pages []*Page) (*Disk, error) {
 	for i, p := range pages {
 		if p == nil {

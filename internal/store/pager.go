@@ -6,14 +6,17 @@ import "fmt"
 // a miss reads from the simulated disk and caches the page. This mirrors the
 // paper's setup of a disk-resident database with a buffer of 10 % of the
 // index size.
+//
+// The disk is accessed through the PageSource interface, so a Pager works
+// unchanged over a bare *Disk or over a wrapper such as the fault injector.
 type Pager struct {
-	disk *Disk
+	disk PageSource
 	buf  *Buffer
 }
 
-// NewPager combines a disk and a buffer. A nil buffer means unbuffered
-// access (every read hits the disk).
-func NewPager(disk *Disk, buf *Buffer) (*Pager, error) {
+// NewPager combines a page source and a buffer. A nil buffer means
+// unbuffered access (every read hits the disk).
+func NewPager(disk PageSource, buf *Buffer) (*Pager, error) {
 	if disk == nil {
 		return nil, fmt.Errorf("store: pager needs a disk")
 	}
@@ -40,8 +43,8 @@ func (p *Pager) ReadPage(pid PageID) (*Page, error) {
 // NumPages returns the number of pages on the underlying disk.
 func (p *Pager) NumPages() int { return p.disk.NumPages() }
 
-// Disk returns the underlying disk (for statistics).
-func (p *Pager) Disk() *Disk { return p.disk }
+// Disk returns the underlying page source (for statistics).
+func (p *Pager) Disk() PageSource { return p.disk }
 
 // Buffer returns the buffer, or nil for an unbuffered pager.
 func (p *Pager) Buffer() *Buffer { return p.buf }

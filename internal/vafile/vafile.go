@@ -39,6 +39,11 @@ type Config struct {
 	// coordinatewise metrics produce nonzero bounds; anything else makes
 	// the VA-file degrade to a plain scan.
 	Metric vec.Metric
+	// WrapDisk, when non-nil, interposes on the freshly built disk before
+	// the pager is attached — the hook used to run the engine on
+	// fault-injected storage. Approximations are built from the in-memory
+	// pages, so construction never reads through the wrapper.
+	WrapDisk func(store.PageSource) (store.PageSource, error)
 }
 
 // Engine is a VA-file over a paged vector file.
@@ -93,6 +98,12 @@ func New(items []store.Item, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vafile: %w", err)
 	}
+	var src store.PageSource = disk
+	if cfg.WrapDisk != nil {
+		if src, err = cfg.WrapDisk(disk); err != nil {
+			return nil, fmt.Errorf("vafile: %w", err)
+		}
+	}
 	bufPages := cfg.BufferPages
 	if bufPages < 0 {
 		bufPages = store.DefaultBufferPages(len(pages))
@@ -103,7 +114,7 @@ func New(items []store.Item, cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("vafile: %w", err)
 		}
 	}
-	pager, err := store.NewPager(disk, buf)
+	pager, err := store.NewPager(src, buf)
 	if err != nil {
 		return nil, fmt.Errorf("vafile: %w", err)
 	}

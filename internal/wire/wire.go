@@ -11,10 +11,14 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"metricdb/internal/msq"
 	"metricdb/internal/query"
@@ -35,6 +39,25 @@ const (
 	OpMultiAll Op = "multi_all"
 	// OpStats returns the session's accumulated statistics.
 	OpStats Op = "stats"
+	// OpPing is a liveness probe; the server answers with an empty
+	// success response.
+	OpPing Op = "ping"
+)
+
+// Error taxonomy: every error response carries one of these codes so
+// clients can tell their own mistakes from server trouble.
+const (
+	// CodeBadRequest marks client errors: malformed JSON, unknown ops,
+	// invalid query specifications, oversized requests.
+	CodeBadRequest = "bad_request"
+	// CodeEngine marks server-side query-processing failures (e.g. the
+	// storage layer returned an error).
+	CodeEngine = "engine_error"
+	// CodeOverload marks requests refused because the server is at its
+	// connection limit.
+	CodeOverload = "overload"
+	// CodeShutdown marks responses sent while the server is draining.
+	CodeShutdown = "shutting_down"
 )
 
 // QuerySpec is one query in wire form.
@@ -83,6 +106,11 @@ type Stats struct {
 	MatrixDistCalcs int64 `json:"matrix_dist_calcs"`
 	AvoidTries      int64 `json:"avoid_tries"`
 	Avoided         int64 `json:"avoided"`
+	// Degraded and Coverage expose the degraded-result contract when the
+	// backing processor runs over a partitioned execution; a single-node
+	// server always reports Degraded=false, Coverage=1.
+	Degraded bool    `json:"degraded,omitempty"`
+	Coverage float64 `json:"coverage"`
 }
 
 func fromStats(s msq.Stats) Stats {
@@ -93,6 +121,8 @@ func fromStats(s msq.Stats) Stats {
 		MatrixDistCalcs: s.MatrixDistCalcs,
 		AvoidTries:      s.AvoidTries,
 		Avoided:         s.Avoided,
+		Degraded:        s.Degraded,
+		Coverage:        s.Coverage(),
 	}
 }
 
@@ -103,6 +133,34 @@ type Response struct {
 	Answers [][]Answer `json:"answers,omitempty"`
 	Stats   Stats      `json:"stats"`
 	Err     string     `json:"err,omitempty"`
+	// Code classifies a non-empty Err (CodeBadRequest, CodeEngine,
+	// CodeOverload, CodeShutdown).
+	Code string `json:"code,omitempty"`
+}
+
+// DefaultMaxRequestBytes caps one request line when ServerConfig leaves
+// MaxRequestBytes zero.
+const DefaultMaxRequestBytes = 1 << 20
+
+// ServerConfig tunes the server's robustness knobs. The zero value gives
+// a server with the default request-size cap and everything else
+// unlimited.
+type ServerConfig struct {
+	// ReadTimeout bounds how long the server waits for the next request
+	// on an idle connection; zero means forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response; zero means forever.
+	WriteTimeout time.Duration
+	// MaxRequestBytes caps the length of one request line; a longer line
+	// is answered with a bad_request error and the connection is closed.
+	// Zero selects DefaultMaxRequestBytes.
+	MaxRequestBytes int
+	// MaxConns caps concurrently served connections; further connections
+	// are sent an overload error and closed. Zero means unlimited.
+	MaxConns int
+	// Logf, when non-nil, receives per-connection lifecycle lines
+	// (session statistics at disconnect, rejected connections).
+	Logf func(format string, args ...any)
 }
 
 // Server serves similarity queries over a metric database. Each accepted
@@ -111,20 +169,39 @@ type Response struct {
 // concurrent readers).
 type Server struct {
 	proc *msq.Processor
+	cfg  ServerConfig
 
-	mu     sync.Mutex
-	closed bool
-	lis    net.Listener
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
 }
 
-// NewServer wraps a processor.
+// NewServer wraps a processor with the default configuration.
 func NewServer(proc *msq.Processor) (*Server, error) {
+	return NewServerWithConfig(proc, ServerConfig{})
+}
+
+// NewServerWithConfig wraps a processor with explicit robustness knobs.
+func NewServerWithConfig(proc *msq.Processor, cfg ServerConfig) (*Server, error) {
 	if proc == nil {
 		return nil, fmt.Errorf("wire: nil processor")
 	}
-	return &Server{proc: proc, conns: make(map[net.Conn]struct{})}, nil
+	if cfg.MaxRequestBytes == 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if cfg.MaxRequestBytes < 0 || cfg.MaxConns < 0 {
+		return nil, fmt.Errorf("wire: negative limit in config")
+	}
+	return &Server{proc: proc, cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // Serve accepts connections on lis until Close is called. It always
@@ -148,11 +225,83 @@ func (s *Server) Serve(lis net.Listener) error {
 			conn.Close()
 			return net.ErrClosed
 		}
+		if s.draining {
+			s.mu.Unlock()
+			s.refuse(conn, CodeShutdown, "server is shutting down")
+			continue
+		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.refuse(conn, CodeOverload, fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
+}
+
+// refuse sends a final error response and closes the connection without
+// admitting it to the served set.
+func (s *Server) refuse(conn net.Conn, code, msg string) {
+	s.logf("wire: refusing %s: %s", conn.RemoteAddr(), msg)
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+	}
+	json.NewEncoder(conn).Encode(Response{Err: msg, Code: code}) //nolint:errcheck
+	conn.Close()
+}
+
+// Shutdown drains the server gracefully: it stops accepting, lets every
+// connection finish its in-flight request (idle connections are released
+// immediately), and after the grace period force-closes whatever is left.
+// It is the SIGINT/SIGTERM path of cmd/msqserver.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var lisErr error
+	if lis != nil {
+		lisErr = lis.Close()
+	}
+	// Wake handlers blocked waiting for the next request; handlers busy
+	// processing keep running and close after responding (handle checks
+	// draining after every response).
+	now := time.Now()
+	for _, c := range conns {
+		c.SetReadDeadline(now) //nolint:errcheck
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		select {
+		case <-done:
+		case <-time.After(grace):
+			s.logf("wire: drain grace %v elapsed, force-closing", grace)
+		}
+	}
+	if err := s.Close(); err != nil && lisErr == nil && !errors.Is(err, net.ErrClosed) {
+		lisErr = err
+	}
+	if errors.Is(lisErr, net.ErrClosed) {
+		lisErr = nil
+	}
+	return lisErr
 }
 
 // Close stops accepting, closes all connections, and waits for handlers.
@@ -176,65 +325,160 @@ func (s *Server) Close() error {
 	return err
 }
 
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// errRequestTooLarge is returned by readLine for lines beyond the cap.
+var errRequestTooLarge = errors.New("wire: request exceeds size limit")
+
+// readLine reads one newline-terminated request line of at most max bytes.
+// A final unterminated line before EOF is returned as a request; EOF with
+// no pending bytes is returned as io.EOF (the clean-close signal).
+func readLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > max {
+			return nil, errRequestTooLarge
+		}
+		switch {
+		case err == nil:
+			return line, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		case errors.Is(err, io.EOF) && len(bytes.TrimSpace(line)) > 0:
+			return line, nil
+		default:
+			if len(line) == 0 && errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+	}
+}
+
 // handle runs the per-connection request loop with a dedicated session.
+//
+// Error handling distinguishes a clean close (io.EOF after a complete
+// request: the session simply ends) from client mistakes: malformed JSON
+// and oversized lines get a final bad_request response before the
+// connection is closed, instead of the silent drop they used to cause.
 func (s *Server) handle(conn net.Conn) {
+	session := s.proc.NewSession()
+	var total msq.Stats
+	requests := 0
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.logf("wire: %s disconnected: requests=%d queries=%d pages_read=%d dist_calcs=%d avoided=%d",
+			conn.RemoteAddr(), requests, total.Queries, total.PagesRead, total.DistCalcs, total.Avoided)
 		s.wg.Done()
 	}()
 
-	session := s.proc.NewSession()
-	var total msq.Stats
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	br := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	enc := json.NewEncoder(w)
+	send := func(resp Response) error {
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
 
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
+		}
+		line, err := readLine(br, s.cfg.MaxRequestBytes)
+		switch {
+		case err == nil:
+		case errors.Is(err, errRequestTooLarge):
+			send(Response{ //nolint:errcheck // closing anyway
+				Err:   fmt.Sprintf("request exceeds %d-byte limit", s.cfg.MaxRequestBytes),
+				Code:  CodeBadRequest,
+				Stats: fromStats(total),
+			})
+			return
+		default:
+			// io.EOF (clean close), a read deadline during drain, or a
+			// broken connection: drop the session.
+			return
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		requests++
 		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken connection: drop the session
-		}
-		resp := s.dispatch(session, &total, req)
-		if err := enc.Encode(resp); err != nil {
+		if err := json.Unmarshal(line, &req); err != nil {
+			send(Response{ //nolint:errcheck // closing anyway
+				Err:   fmt.Sprintf("malformed request: %v", err),
+				Code:  CodeBadRequest,
+				Stats: fromStats(total),
+			})
 			return
 		}
-		if err := w.Flush(); err != nil {
+		if err := send(s.dispatch(session, &total, req)); err != nil {
 			return
+		}
+		if s.isDraining() {
+			return // in-flight request finished; drain the connection
 		}
 	}
 }
 
-// dispatch executes one request against the connection's session.
+// dispatch executes one request against the connection's session. Errors
+// are classified: invalid specifications are bad_request, failures from
+// the query processor (e.g. injected storage faults) are engine_error.
 func (s *Server) dispatch(session *msq.Session, total *msq.Stats, req Request) Response {
-	fail := func(err error) Response {
-		return Response{Err: err.Error(), Stats: fromStats(*total)}
+	fail := func(code string, err error) Response {
+		return Response{Err: err.Error(), Code: code, Stats: fromStats(*total)}
 	}
 	switch req.Op {
+	case OpPing:
+		return Response{Stats: fromStats(*total)}
 	case OpQuery:
 		if len(req.Queries) != 1 {
-			return fail(fmt.Errorf("wire: op %q needs exactly one query, got %d", req.Op, len(req.Queries)))
+			return fail(CodeBadRequest, fmt.Errorf("wire: op %q needs exactly one query, got %d", req.Op, len(req.Queries)))
 		}
 		t, err := req.Queries[0].toType()
 		if err != nil {
-			return fail(err)
+			return fail(CodeBadRequest, err)
 		}
-		answers, st, err := s.proc.Single(vec.Vector(req.Queries[0].Vector), t)
+		q := msq.Query{Vec: vec.Vector(req.Queries[0].Vector), Type: t}
+		if err := q.Validate(); err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		answers, st, err := s.proc.Single(q.Vec, t)
 		if err != nil {
-			return fail(err)
+			return fail(CodeEngine, err)
 		}
 		*total = total.Add(st)
 		return Response{Answers: [][]Answer{toWireAnswers(answers.Answers())}, Stats: fromStats(st)}
 	case OpMulti, OpMultiAll:
 		batch := make([]msq.Query, len(req.Queries))
+		seen := make(map[uint64]bool, len(req.Queries))
 		for i, q := range req.Queries {
 			t, err := q.toType()
 			if err != nil {
-				return fail(err)
+				return fail(CodeBadRequest, err)
 			}
+			if seen[q.ID] {
+				return fail(CodeBadRequest, fmt.Errorf("wire: duplicate query id %d", q.ID))
+			}
+			seen[q.ID] = true
 			batch[i] = msq.Query{ID: q.ID, Vec: vec.Vector(q.Vector), Type: t}
+			if err := batch[i].Validate(); err != nil {
+				return fail(CodeBadRequest, err)
+			}
 		}
 		run := session.MultiQuery
 		if req.Op == OpMultiAll {
@@ -242,7 +486,7 @@ func (s *Server) dispatch(session *msq.Session, total *msq.Stats, req Request) R
 		}
 		lists, st, err := run(batch)
 		if err != nil {
-			return fail(err)
+			return fail(CodeEngine, err)
 		}
 		*total = total.Add(st)
 		out := make([][]Answer, len(lists))
@@ -253,7 +497,7 @@ func (s *Server) dispatch(session *msq.Session, total *msq.Stats, req Request) R
 	case OpStats:
 		return Response{Stats: fromStats(*total)}
 	default:
-		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+		return fail(CodeBadRequest, fmt.Errorf("wire: unknown op %q", req.Op))
 	}
 }
 
@@ -292,6 +536,27 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection, ending the server-side session.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// ServerError is an error response from the server, carrying the taxonomy
+// code so callers can distinguish their own mistakes (CodeBadRequest) from
+// server trouble (CodeEngine, CodeOverload, CodeShutdown).
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+// Error renders the server error.
+func (e *ServerError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("wire: server: %s", e.Msg)
+	}
+	return fmt.Sprintf("wire: server [%s]: %s", e.Code, e.Msg)
+}
+
+// ErrMalformedResponse marks a structurally invalid server response (e.g.
+// a success response missing the expected answer lists, as a buggy or
+// degraded server might produce).
+var ErrMalformedResponse = errors.New("wire: malformed server response")
+
 // roundTrip sends one request and reads one response.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	if err := c.enc.Encode(req); err != nil {
@@ -305,7 +570,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, fmt.Errorf("wire: receive: %w", err)
 	}
 	if resp.Err != "" {
-		return resp, fmt.Errorf("wire: server: %s", resp.Err)
+		return resp, &ServerError{Code: resp.Code, Msg: resp.Err}
 	}
 	return resp, nil
 }
@@ -316,7 +581,16 @@ func (c *Client) Query(q QuerySpec) ([]Answer, Stats, error) {
 	if err != nil {
 		return nil, resp.Stats, err
 	}
+	if len(resp.Answers) != 1 {
+		return nil, resp.Stats, fmt.Errorf("%w: %d answer lists for one query", ErrMalformedResponse, len(resp.Answers))
+	}
 	return resp.Answers[0], resp.Stats, nil
+}
+
+// Ping probes the server for liveness over the session connection.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: OpPing})
+	return err
 }
 
 // Multi evaluates a multiple similarity query incrementally (Definition 4).

@@ -33,6 +33,11 @@ type Config struct {
 	// Non-coordinatewise metrics are allowed but give the index no
 	// selectivity (all lower bounds are zero).
 	Metric vec.Metric
+	// WrapDisk, when non-nil, interposes on the disk built by Build before
+	// the pager is attached — the hook used to run the tree on
+	// fault-injected storage. The directory stays in memory, so only data-
+	// page reads pass through the wrapper.
+	WrapDisk func(store.PageSource) (store.PageSource, error)
 	// ReinsertFraction enables R*-style forced reinsertion: on the first
 	// leaf overflow of an insertion, this fraction of the leaf's items
 	// farthest from its center are reinserted from the root instead of
@@ -440,6 +445,12 @@ func (t *Tree) Build() error {
 	if err != nil {
 		return fmt.Errorf("xtree: %w", err)
 	}
+	var src store.PageSource = disk
+	if t.cfg.WrapDisk != nil {
+		if src, err = t.cfg.WrapDisk(disk); err != nil {
+			return fmt.Errorf("xtree: %w", err)
+		}
+	}
 	bufPages := t.cfg.BufferPages
 	if bufPages < 0 {
 		bufPages = store.DefaultBufferPages(len(pages))
@@ -450,7 +461,7 @@ func (t *Tree) Build() error {
 			return fmt.Errorf("xtree: %w", err)
 		}
 	}
-	pager, err := store.NewPager(disk, buf)
+	pager, err := store.NewPager(src, buf)
 	if err != nil {
 		return fmt.Errorf("xtree: %w", err)
 	}
