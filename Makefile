@@ -1,7 +1,8 @@
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race differential bench
 
-# The pre-PR gate: formatting, static analysis, build, race-enabled tests.
-check: fmt vet build race
+# The pre-PR gate: formatting, static analysis, build, race-enabled tests,
+# and the multi-query differential suite under the race detector.
+check: fmt vet build race differential
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -13,11 +14,20 @@ vet:
 build:
 	go build ./...
 
+# Tier-1: the fast suite. -short skips the stress tests and trims the
+# property-test rounds; the differential harness itself always runs.
 test:
-	go test ./...
+	go test -short ./...
 
 race:
 	go test -race ./...
+
+# The pipeline determinism gate: differential (width 1 vs 2 vs 8), Lemma
+# 1/2 soundness properties, the session/pager stress tests, and the store
+# concurrency tests — all under the race detector.
+differential:
+	go test -race -count=1 -run 'TestDifferential|TestLemma|TestStress|TestBufferConcurrency|TestDiskConcurrent|TestPagerSingleflight' \
+		./internal/msq/ ./internal/store/
 
 bench:
 	go test -bench=. -benchmem -run=^$$

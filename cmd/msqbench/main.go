@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
+//	         [-intra-out BENCH_parallel_intra.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
 // degraded-mode coverage and recall of the surviving cluster.
+//
+// The intra experiment is not a paper figure either: it sweeps the
+// intra-server pipeline width of the multi-query processor (goroutines
+// evaluating each page, with page I/O prefetched alongside), reports the
+// wall-clock speedup per engine, re-checks that every width returned
+// answers and page reads identical to the sequential run, and writes the
+// results to -intra-out as JSON.
 //
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
@@ -31,19 +39,20 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12")
+		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12, chaos, intra")
 		scaleName  = flag.String("scale", "small", "dataset scale: small, medium or paper")
 		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
 		measure    = flag.Bool("measure", false, "calibrate the cost model on this host instead of nominal 1999 constants")
+		intraOut   = flag.String("intra-out", "BENCH_parallel_intra.json", "output file for the intra experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -56,7 +65,8 @@ func run(experiment, scaleName, csvDir string, measure bool) error {
 
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
-		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true}
+		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
+		"intra": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -92,7 +102,8 @@ func run(experiment, scaleName, csvDir string, measure bool) error {
 	needSweep := want("fig7") || want("fig8") || want("fig9") || want("fig10")
 	needParallel := want("fig11") || want("fig12")
 	needChaos := want("chaos")
-	if !needSweep && !needParallel && !needChaos {
+	needIntra := want("intra")
+	if !needSweep && !needParallel && !needChaos && !needIntra {
 		return nil
 	}
 
@@ -148,6 +159,30 @@ func run(experiment, scaleName, csvDir string, measure bool) error {
 				return err
 			}
 		}
+	}
+
+	if needIntra {
+		var sweeps []*experiments.IntraSweep
+		for _, wl := range workloads {
+			sweep, err := experiments.RunIntra(wl.w, []int{1, 2, 4, 8}, sc.BaseM)
+			if err != nil {
+				return err
+			}
+			for _, r := range sweep.Results {
+				if !r.Identical {
+					return fmt.Errorf("intra: %s/%s width %d returned different answers or page reads than sequential",
+						r.Workload, r.Engine, r.Width)
+				}
+			}
+			if err := emit(sweep.Figure()); err != nil {
+				return err
+			}
+			sweeps = append(sweeps, sweep)
+		}
+		if err := experiments.WriteIntraJSONFile(intraOut, sweeps); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", intraOut)
 	}
 
 	if needParallel {

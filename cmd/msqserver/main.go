@@ -6,7 +6,7 @@
 // Usage:
 //
 //	msqserver -addr :7707 [-data file.gob] [-n 20000] [-dim 16]
-//	          [-engine scan|xtree|vafile]
+//	          [-engine scan|xtree|vafile] [-concurrency 1]
 //	          [-max-conns 0] [-max-request-bytes 1048576]
 //	          [-read-timeout 0] [-write-timeout 10s] [-drain 5s]
 //
@@ -48,6 +48,7 @@ func main() {
 		n        = flag.Int("n", 20000, "generated dataset size")
 		dim      = flag.Int("dim", 16, "generated dataset dimensionality")
 		engine   = flag.String("engine", "xtree", "physical organization: scan, xtree or vafile")
+		width    = flag.Int("concurrency", 1, "intra-server pipeline width per query batch (1 = sequential)")
 
 		maxConns  = flag.Int("max-conns", 0, "concurrent connection limit (0 = unlimited)")
 		maxReqLen = flag.Int("max-request-bytes", wire.DefaultMaxRequestBytes, "request line size cap")
@@ -62,6 +63,7 @@ func main() {
 		MaxRequestBytes: *maxReqLen,
 		MaxConns:        *maxConns,
 		Logf:            log.Printf,
+		Concurrency:     *width,
 	}
 	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "msqserver:", err)

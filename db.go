@@ -47,6 +47,11 @@ type Options struct {
 	// Avoidance selects the triangle-inequality mode; the zero value is
 	// AvoidBoth.
 	Avoidance AvoidanceMode
+	// Concurrency is the intra-server pipeline width of the multi-query
+	// processor: how many goroutines evaluate each data page, with page
+	// I/O prefetched alongside. 0 and 1 run sequentially. Results are
+	// bit-identical at every width (see internal/msq/pipeline.go).
+	Concurrency int
 	// XTree overrides advanced X-tree parameters; nil uses defaults
 	// derived from PageCapacity.
 	XTree *XTreeOptions
@@ -144,7 +149,7 @@ func Open(items []Item, opts Options) (*DB, error) {
 		return nil, err
 	}
 
-	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance})
+	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/msq"
+	"metricdb/internal/query"
+)
+
+// tinyWorkload keeps the intra sweep test in the milliseconds.
+func tinyWorkload(t *testing.T) Workload {
+	t.Helper()
+	items := dataset.Uniform(9, 500, 6)
+	w := Workload{Name: "tiny", Items: items, Dim: 6, K: 5}
+	w.Queries = func(seed int64, m int) ([]msq.Query, error) {
+		picks, err := dataset.SampleQueries(seed, items, m)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]msq.Query, len(picks))
+		for i, it := range picks {
+			out[i] = msq.Query{ID: uint64(it.ID), Vec: it.Vec, Type: query.NewKNN(5)}
+		}
+		return out, nil
+	}
+	return w
+}
+
+func TestRunIntra(t *testing.T) {
+	widths := []int{1, 2, 4}
+	sweep, err := RunIntra(tinyWorkload(t), widths, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(widths); len(sweep.Results) != want { // scan + xtree
+		t.Fatalf("got %d results, want %d", len(sweep.Results), want)
+	}
+	for _, r := range sweep.Results {
+		if !r.Identical {
+			t.Errorf("%s width %d: answers or page reads differ from sequential", r.Engine, r.Width)
+		}
+		if r.Seconds <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s width %d: non-positive timing %v / speedup %v", r.Engine, r.Width, r.Seconds, r.Speedup)
+		}
+	}
+
+	fig := sweep.Figure()
+	if len(fig.XVals) != len(widths) || len(fig.Series) != 2 {
+		t.Errorf("figure shape: %d x-values, %d series", len(fig.XVals), len(fig.Series))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteIntraJSON(&buf, []*IntraSweep{sweep}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []IntraSweep
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 || len(decoded[0].Results) != len(sweep.Results) {
+		t.Error("artifact round-trip lost results")
+	}
+}

@@ -3,6 +3,7 @@ package msq
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"metricdb/internal/query"
 	"metricdb/internal/store"
@@ -13,8 +14,13 @@ import (
 // items have already been tested for this query. Together they are the
 // "internal buffer" of Figure 4 (restore_from_buffer / buffer_answers).
 type queryState struct {
-	q         Query
-	answers   *query.AnswerList
+	q       Query
+	answers *query.AnswerList
+	// mu guards answers while the concurrent pipeline's sharded merge
+	// workers feed per-page results into the list (one shard — and hence
+	// one worker — per query, but the lock keeps the ownership explicit
+	// and race-detector-checkable). The sequential path never contends.
+	mu        sync.Mutex
 	processed map[store.PageID]struct{}
 	done      bool
 	// bound is an a-priori upper bound on the final query distance,
@@ -36,10 +42,17 @@ func (st *queryState) queryDist() float64 {
 }
 
 // Session holds buffered (partial) answers between incremental multi-query
-// calls. A session is bound to one processor and is not safe for concurrent
-// use; the parallel query processor gives each server its own session.
+// calls. A session is bound to one processor. It is safe for concurrent
+// use: calls are serialized by an internal mutex, because the paper's
+// incremental semantics (each call builds on the buffered answers of the
+// previous one) are inherently ordered. Parallelism happens *inside* a
+// call when the processor's Concurrency is above 1.
 type Session struct {
-	proc   *Processor
+	proc *Processor
+	// mu serializes top-level calls on the session. The pipeline's worker
+	// goroutines never take it; they synchronize through per-query state
+	// locks and the page barrier (see pipeline.go).
+	mu     sync.Mutex
 	states map[uint64]*queryState
 	// pairDist caches inter-query distances ("QObjDists") so that each
 	// pair is calculated at most once per session, keeping the matrix
@@ -89,6 +102,8 @@ func (s *Session) state(q Query) (*queryState, error) {
 // The returned answer lists are aligned with queries and owned by the
 // session: they remain live and may grow in subsequent calls.
 func (s *Session) MultiQuery(queries []Query) ([]*query.AnswerList, Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	states, results, err := s.prepare(queries)
 	if err != nil {
 		return nil, Stats{}, err
@@ -203,6 +218,14 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 	// and the a-priori bound give Q1 a head start on its query distance.
 	plan := s.proc.eng.Plan(first.q.Vec, first.queryDist())
 
+	if width := s.proc.Concurrency(); width > 1 {
+		if err := s.runPipeline(plan, states, matrix, pos, stats, width); err != nil {
+			return err
+		}
+		first.done = true
+		return nil
+	}
+
 	// active caches, per page, which queries still need the page.
 	active := make([]*queryState, 0, len(states))
 	activePos := make([]int, 0, len(states))
@@ -215,22 +238,7 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 			continue // already examined for Q1 in an earlier call
 		}
 
-		// Decide which queries this page is relevant for.
-		active = active[:0]
-		activePos = activePos[:0]
-		for i, st := range states {
-			if st.done {
-				continue
-			}
-			if _, ok := st.processed[ref.ID]; ok {
-				continue
-			}
-			if i > 0 && s.proc.eng.MinDist(st.q.Vec, ref.ID) > st.queryDist() {
-				continue
-			}
-			active = append(active, st)
-			activePos = append(activePos, pos[i])
-		}
+		active, activePos = s.decideActive(ref.ID, states, pos, active, activePos)
 
 		page, err := s.proc.eng.ReadPage(ref.ID)
 		if err != nil {
@@ -247,6 +255,31 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 
 	first.done = true // A1 is now complete; buffer_answers is implicit.
 	return nil
+}
+
+// decideActive computes which queries still need the page: not finished, not
+// already processed for the page, and (for non-first queries) not excludable
+// by the engine's lower bound against the query's current pruning distance.
+// Both the sequential loop and the concurrent pipeline call it at the same
+// point — after all earlier pages are fully merged — so the decisions, and
+// hence page visits, are identical regardless of the pipeline width.
+func (s *Session) decideActive(pid store.PageID, states []*queryState, pos []int, active []*queryState, activePos []int) ([]*queryState, []int) {
+	active = active[:0]
+	activePos = activePos[:0]
+	for i, st := range states {
+		if st.done {
+			continue
+		}
+		if _, ok := st.processed[pid]; ok {
+			continue
+		}
+		if i > 0 && s.proc.eng.MinDist(st.q.Vec, pid) > st.queryDist() {
+			continue
+		}
+		active = append(active, st)
+		activePos = append(activePos, pos[i])
+	}
+	return active, activePos
 }
 
 // bootstrap computes, for every query whose effective query distance is
@@ -381,7 +414,7 @@ func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx 
 		for a, st := range active {
 			pos := activeIdx[a]
 			if matrix != nil && mode != AvoidOff {
-				if s.avoidable(st.queryDist(), pos, known, matrix, stats) {
+				if s.avoidable(st.queryDist(), pos, known, matrix, &stats.AvoidTries) {
 					stats.Avoided++
 					continue
 				}
@@ -410,14 +443,14 @@ const maxAvoidProbes = 8
 //
 //	Lemma 1: dist(O,Qj) - dist(Qi,Qj) > QueryDist(Qi)  =>  avoid
 //	Lemma 2: dist(Qi,Qj) - dist(O,Qj) > QueryDist(Qi)  =>  avoid
-func (s *Session) avoidable(qd float64, pos int, known []knownDist, matrix [][]float64, stats *Stats) bool {
+func (s *Session) avoidable(qd float64, pos int, known []knownDist, matrix [][]float64, tries *int64) bool {
 	row := matrix[pos]
 	mode := s.proc.opts.Avoidance
 	if len(known) > maxAvoidProbes {
 		known = known[:maxAvoidProbes]
 	}
 	for _, k := range known {
-		stats.AvoidTries++
+		*tries++
 		mij := row[k.idx]
 		switch mode {
 		case AvoidBoth:
@@ -447,6 +480,8 @@ func (s *Session) avoidable(qd float64, pos int, known []knownDist, matrix [][]f
 // MultiQuery on each suffix instead would rebuild an O(m²) matrix per
 // suffix — cubic in m overall).
 func (s *Session) MultiQueryAll(queries []Query) ([]*query.AnswerList, Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	states, results, err := s.prepare(queries)
 	if err != nil {
 		return nil, Stats{}, err

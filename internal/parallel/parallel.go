@@ -128,6 +128,11 @@ type Config struct {
 	Metric      vec.Metric
 	// Avoidance is forwarded to each server's processor.
 	Avoidance msq.AvoidanceMode
+	// Concurrency is each server's intra-server pipeline width (the msq
+	// Concurrency knob): inter-server parallelism comes from the cluster
+	// fan-out, intra-server parallelism from this. 0 and 1 keep the
+	// servers sequential inside.
+	Concurrency int
 
 	// WrapDisk, when non-nil, interposes on each server's freshly built
 	// disk — the fault-injection hook. It is called once per server with
@@ -226,7 +231,7 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 		}
 		// Each server gets its own counting metric so per-server CPU
 		// cost can be reported.
-		proc, err := msq.New(eng, vec.NewCounting(cfg.Metric), msq.Options{Avoidance: cfg.Avoidance})
+		proc, err := msq.New(eng, vec.NewCounting(cfg.Metric), msq.Options{Avoidance: cfg.Avoidance, Concurrency: cfg.Concurrency})
 		if err != nil {
 			return nil, fmt.Errorf("parallel: server %d: %w", i, err)
 		}

@@ -5,6 +5,11 @@
 // multiple similarity queries because relevant_pages(Q1) = ... =
 // relevant_pages(Qm) = all pages (§5.1 of the paper: the I/O speed-up
 // factor is exactly m).
+//
+// A scan is immutable after construction, so all query-path methods are
+// safe for concurrent readers; because every plan entry has lower bound
+// zero, the msq pipeline can prefetch a scan's entire plan, giving the
+// scan the full benefit of intra-server I/O/CPU overlap.
 package scan
 
 import (

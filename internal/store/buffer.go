@@ -4,18 +4,21 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Buffer is a fixed-capacity LRU page buffer. The paper's experiments use a
 // buffer sized at 10 % of the index, which DefaultBufferPages computes.
-// Buffer is safe for concurrent use.
+// Buffer is safe for concurrent use; the hit/miss counters are atomic so
+// that HitRate can be sampled without contending with readers on the LRU
+// lock while a query pipeline is running.
 type Buffer struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used; values are PageID
 	entries  map[PageID]*bufferEntry
-	hits     int64
-	misses   int64
+	hits     atomic.Int64
+	misses   atomic.Int64
 }
 
 type bufferEntry struct {
@@ -53,10 +56,10 @@ func (b *Buffer) Get(pid PageID) (*Page, bool) {
 	defer b.mu.Unlock()
 	e, ok := b.entries[pid]
 	if !ok {
-		b.misses++
+		b.misses.Add(1)
 		return nil, false
 	}
-	b.hits++
+	b.hits.Add(1)
 	b.order.MoveToFront(e.elem)
 	return e.page, true
 }
@@ -95,15 +98,14 @@ func (b *Buffer) Len() int {
 // Capacity returns the maximum number of buffered pages.
 func (b *Buffer) Capacity() int { return b.capacity }
 
-// HitRate returns hits, misses, and the hit ratio (0 when unused).
+// HitRate returns hits, misses, and the hit ratio (0 when unused). It never
+// takes the LRU lock, so sampling it cannot stall concurrent readers.
 func (b *Buffer) HitRate() (hits, misses int64, ratio float64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	total := b.hits + b.misses
-	if total == 0 {
-		return b.hits, b.misses, 0
+	h, m := b.hits.Load(), b.misses.Load()
+	if h+m == 0 {
+		return h, m, 0
 	}
-	return b.hits, b.misses, float64(b.hits) / float64(total)
+	return h, m, float64(h) / float64(h+m)
 }
 
 // Clear empties the buffer and resets hit statistics.
@@ -112,5 +114,6 @@ func (b *Buffer) Clear() {
 	defer b.mu.Unlock()
 	b.order.Init()
 	b.entries = make(map[PageID]*bufferEntry)
-	b.hits, b.misses = 0, 0
+	b.hits.Store(0)
+	b.misses.Store(0)
 }

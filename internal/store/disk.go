@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // IOStats is a snapshot of simulated disk activity.
@@ -43,13 +44,18 @@ type PageSource interface {
 }
 
 // Disk simulates a disk holding data pages at consecutive physical
-// addresses. It is safe for concurrent use.
+// addresses. It is safe for concurrent use: reads serialize on a mutex (a
+// disk head is a serial device, and the sequential/random classification
+// depends on the previous read), while the counters themselves are atomic
+// so Stats can be sampled without blocking behind an in-flight read.
 type Disk struct {
-	mu       sync.Mutex
-	pages    []*Page
-	stats    IOStats
-	lastRead PageID
-	failOn   func(PageID) error
+	mu        sync.Mutex
+	pages     []*Page
+	reads     atomic.Int64
+	seqReads  atomic.Int64
+	randReads atomic.Int64
+	lastRead  PageID
+	failOn    func(PageID) error
 }
 
 // NewDisk creates a disk from pages. Pages must have consecutive IDs
@@ -85,21 +91,24 @@ func (d *Disk) Read(pid PageID) (*Page, error) {
 			return nil, fmt.Errorf("store: injected failure reading page %d: %w", pid, err)
 		}
 	}
-	d.stats.Reads++
+	d.reads.Add(1)
 	if pid == d.lastRead+1 {
-		d.stats.SeqReads++
+		d.seqReads.Add(1)
 	} else {
-		d.stats.RandReads++
+		d.randReads.Add(1)
 	}
 	d.lastRead = pid
 	return d.pages[pid], nil
 }
 
-// Stats returns a snapshot of the I/O statistics.
+// Stats returns a snapshot of the I/O statistics. It is lock-free and may
+// be called while reads are in flight.
 func (d *Disk) Stats() IOStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return IOStats{
+		Reads:     d.reads.Load(),
+		SeqReads:  d.seqReads.Load(),
+		RandReads: d.randReads.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O statistics and returns the previous snapshot.
@@ -107,8 +116,11 @@ func (d *Disk) Stats() IOStats {
 func (d *Disk) ResetStats() IOStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	s := d.stats
-	d.stats = IOStats{}
+	s := IOStats{
+		Reads:     d.reads.Swap(0),
+		SeqReads:  d.seqReads.Swap(0),
+		RandReads: d.randReads.Swap(0),
+	}
 	d.lastRead = InvalidPage - 1
 	return s
 }

@@ -1,6 +1,9 @@
 package store
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Pager reads pages through an LRU buffer: a buffer hit costs no disk I/O,
 // a miss reads from the simulated disk and caches the page. This mirrors the
@@ -9,9 +12,26 @@ import "fmt"
 //
 // The disk is accessed through the PageSource interface, so a Pager works
 // unchanged over a bare *Disk or over a wrapper such as the fault injector.
+//
+// Pager is safe for concurrent use. Concurrent misses on the same page are
+// coalesced into a single disk read ("singleflight"): the first caller goes
+// to disk, later callers wait for its result. This keeps the cost-model
+// invariant that a page is read from disk at most once per working set even
+// when several goroutines — e.g. the msq pipeline's prefetcher and
+// coordinator, or parallel sessions — request it at the same instant.
 type Pager struct {
 	disk PageSource
 	buf  *Buffer
+
+	mu       sync.Mutex
+	inflight map[PageID]*flight
+}
+
+// flight is one in-progress disk read awaited by one or more callers.
+type flight struct {
+	done chan struct{}
+	page *Page
+	err  error
 }
 
 // NewPager combines a page source and a buffer. A nil buffer means
@@ -20,24 +40,47 @@ func NewPager(disk PageSource, buf *Buffer) (*Pager, error) {
 	if disk == nil {
 		return nil, fmt.Errorf("store: pager needs a disk")
 	}
-	return &Pager{disk: disk, buf: buf}, nil
+	return &Pager{disk: disk, buf: buf, inflight: make(map[PageID]*flight)}, nil
 }
 
-// ReadPage returns the page, going to disk only on a buffer miss.
+// ReadPage returns the page, going to disk only on a buffer miss. The buffer
+// probe happens under the pager lock so that exactly one Get (and so one
+// hit-or-miss count) is charged per call, and so that a miss and the
+// in-flight registration are atomic — two concurrent misses cannot both
+// reach the disk.
 func (p *Pager) ReadPage(pid PageID) (*Page, error) {
+	p.mu.Lock()
 	if p.buf != nil {
 		if pg, ok := p.buf.Get(pid); ok {
+			p.mu.Unlock()
 			return pg, nil
 		}
 	}
-	pg, err := p.disk.Read(pid)
+	if f, ok := p.inflight[pid]; ok {
+		p.mu.Unlock()
+		<-f.done
+		return f.page, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	p.inflight[pid] = f
+	p.mu.Unlock()
+
+	page, err := p.disk.Read(pid)
+	if err == nil && p.buf != nil {
+		// Cache before releasing the waiters, so that by the time any
+		// later ReadPage misses the buffer the page can only have been
+		// evicted, never "not yet inserted".
+		p.buf.Put(pid, page)
+	}
+	p.mu.Lock()
+	f.page, f.err = page, err
+	delete(p.inflight, pid)
+	p.mu.Unlock()
+	close(f.done)
 	if err != nil {
 		return nil, err
 	}
-	if p.buf != nil {
-		p.buf.Put(pid, pg)
-	}
-	return pg, nil
+	return page, nil
 }
 
 // NumPages returns the number of pages on the underlying disk.

@@ -13,6 +13,10 @@
 // unchanged on top of a VA-file — demonstrating the paper's claim that the
 // techniques apply to "an implementation based on an index or using a
 // sequential scan".
+//
+// The approximation array is immutable after construction, so the query
+// path (Plan/MinDist/MaxDist/ReadPage) is safe for concurrent readers, as
+// the engine contract requires.
 package vafile
 
 import (

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"net"
+	"testing"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/msq"
+	"metricdb/internal/vec"
+	"metricdb/internal/xtree"
+)
+
+// TestServerConcurrencyConfig checks the ServerConfig.Concurrency plumbing:
+// negative widths are rejected, a positive width reaches the processor the
+// server hands to sessions, and queries over the wire return the same
+// answers as at width 1.
+func TestServerConcurrencyConfig(t *testing.T) {
+	items := dataset.Uniform(5, 300, 4)
+	tr, err := xtree.Bulk(items, 4, xtree.Config{LeafCapacity: 16, DirFanout: 8, BufferPages: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := msq.New(tr, vec.Euclidean{}, msq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewServerWithConfig(proc, ServerConfig{Concurrency: -1}); err == nil {
+		t.Error("negative concurrency accepted")
+	}
+
+	srv, err := NewServerWithConfig(proc, ServerConfig{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.proc.Concurrency(); got != 4 {
+		t.Errorf("server processor width = %d, want 4", got)
+	}
+	if proc.Concurrency() != 1 {
+		t.Error("ServerConfig.Concurrency mutated the caller's processor")
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck // ends with net.ErrClosed on shutdown
+	defer srv.Close() //nolint:errcheck
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	q := QuerySpec{Vector: []float64{0.5, 0.5, 0.5, 0.5}, Kind: "knn", K: 5}
+	got, _, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := q.toType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := proc.Single(vec.Vector(q.Vector), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa := want.Answers()
+	if len(got) != len(wa) {
+		t.Fatalf("wire returned %d answers, want %d", len(got), len(wa))
+	}
+	for i := range got {
+		if got[i].ID != uint64(wa[i].ID) || got[i].Dist != wa[i].Dist {
+			t.Errorf("answer %d: (%d, %v) vs sequential (%d, %v)",
+				i, got[i].ID, got[i].Dist, wa[i].ID, wa[i].Dist)
+		}
+	}
+}

@@ -161,6 +161,12 @@ type ServerConfig struct {
 	// Logf, when non-nil, receives per-connection lifecycle lines
 	// (session statistics at disconnect, rejected connections).
 	Logf func(format string, args ...any)
+	// Concurrency overrides the processor's intra-server pipeline width
+	// for the sessions this server creates: the number of goroutines
+	// evaluating each data page per query batch. Zero keeps the
+	// processor's own setting; 1 pins the sequential path. Answers are
+	// bit-identical at every width.
+	Concurrency int
 }
 
 // Server serves similarity queries over a metric database. Each accepted
@@ -194,6 +200,12 @@ func NewServerWithConfig(proc *msq.Processor, cfg ServerConfig) (*Server, error)
 	}
 	if cfg.MaxRequestBytes < 0 || cfg.MaxConns < 0 {
 		return nil, fmt.Errorf("wire: negative limit in config")
+	}
+	if cfg.Concurrency < 0 {
+		return nil, fmt.Errorf("wire: negative concurrency in config")
+	}
+	if cfg.Concurrency > 0 {
+		proc = proc.WithConcurrency(cfg.Concurrency)
 	}
 	return &Server{proc: proc, cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
 }

@@ -10,6 +10,11 @@
 // accesses that Figure 7 of the multi-query paper reports. Leaf pages are
 // laid out on disk in tree order, giving spatially clustered physical
 // addresses.
+//
+// A built tree is immutable on the query path: Plan, MinDist, MaxDist and
+// ReadPage only walk the in-memory directory and read through the pager,
+// so they are safe for concurrent readers (the engine contract the msq
+// pipeline relies on). Insert is not concurrent with queries.
 package xtree
 
 import (
