@@ -1,4 +1,4 @@
-.PHONY: check fmt vet build test race differential bench
+.PHONY: check fmt vet build test race differential bench bench-all
 
 # The pre-PR gate: formatting, static analysis, build, race-enabled tests,
 # and the multi-query differential suite under the race detector.
@@ -23,11 +23,24 @@ race:
 	go test -race ./...
 
 # The pipeline determinism gate: differential (width 1 vs 2 vs 8), Lemma
-# 1/2 soundness properties, the session/pager stress tests, and the store
-# concurrency tests — all under the race detector.
+# 1/2 soundness properties, the bounded-kernel contract properties, the
+# session/pager stress tests, and the store concurrency tests — all under
+# the race detector.
 differential:
-	go test -race -count=1 -run 'TestDifferential|TestLemma|TestStress|TestBufferConcurrency|TestDiskConcurrent|TestPagerSingleflight' \
-		./internal/msq/ ./internal/store/
+	go test -race -count=1 -run 'TestDifferential|TestLemma|TestStress|TestDistanceWithin|TestMinkowski|TestBufferConcurrency|TestDiskConcurrent|TestPagerSingleflight' \
+		./internal/msq/ ./internal/store/ ./internal/vec/
 
+# The perf gate for the hot path: kernel microbenchmarks (full Distance vs
+# bounded DistanceWithin, with allocation counts for the scratch-reuse
+# check), then the end-to-end artifacts — the kernels experiment
+# (BENCH_kernels.json) and the intra pipeline sweep
+# (BENCH_parallel_intra.json).
 bench:
-	go test -bench=. -benchmem -run=^$$
+	go test -bench='BenchmarkDistance|BenchmarkSortRefs|BenchmarkMultiQueryAll' -benchmem -run=^$$ \
+		./internal/vec/ ./internal/vafile/ ./internal/msq/
+	go run ./cmd/msqbench -experiment kernels
+	go run ./cmd/msqbench -experiment intra
+
+# Every benchmark in the repository, including the paper-figure suites.
+bench-all:
+	go test -bench=. -benchmem -run=^$$ ./...

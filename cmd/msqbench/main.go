@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
+//	         [-kernels-out BENCH_kernels.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
@@ -18,6 +19,11 @@
 // wall-clock speedup per engine, re-checks that every width returned
 // answers and page reads identical to the sequential run, and writes the
 // results to -intra-out as JSON.
+//
+// The kernels experiment microbenchmarks the bounded distance kernels:
+// full Distance against early-abandoning DistanceWithin per metric, vector
+// dimensionality and abandon rate, writing the ns/op table to -kernels-out
+// as JSON.
 //
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
@@ -39,20 +45,21 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12, chaos, intra")
+		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12, chaos, intra, kernels")
 		scaleName  = flag.String("scale", "small", "dataset scale: small, medium or paper")
 		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
 		measure    = flag.Bool("measure", false, "calibrate the cost model on this host instead of nominal 1999 constants")
 		intraOut   = flag.String("intra-out", "BENCH_parallel_intra.json", "output file for the intra experiment's JSON results")
+		kernelsOut = flag.String("kernels-out", "BENCH_kernels.json", "output file for the kernels experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -66,7 +73,7 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut string) er
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
-		"intra": true}
+		"intra": true, "kernels": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -97,6 +104,20 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut string) er
 		if err := emit(experiments.MicroFigure([]int{20, 64})); err != nil {
 			return err
 		}
+	}
+
+	if want("kernels") {
+		sweep, err := experiments.RunKernels([]int{4, 16, 64}, []float64{0, 0.5, 0.95}, 512)
+		if err != nil {
+			return err
+		}
+		if err := emit(sweep.Figure()); err != nil {
+			return err
+		}
+		if err := experiments.WriteKernelsJSONFile(kernelsOut, sweep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", kernelsOut)
 	}
 
 	needSweep := want("fig7") || want("fig8") || want("fig9") || want("fig10")

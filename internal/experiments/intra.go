@@ -30,6 +30,9 @@ type IntraResult struct {
 	Speedup   float64 `json:"speedup"` // wall-clock of width 1 over this width
 	PagesRead int64   `json:"pages_read"`
 	DistCalcs int64   `json:"dist_calcs"`
+	// PartialAbandoned is the subset of DistCalcs the bounded kernels
+	// resolved early (partial result already beyond the pruning bound).
+	PartialAbandoned int64 `json:"partial_abandoned"`
 	// Identical reports whether answers and page reads matched the
 	// width-1 reference exactly; false flags a determinism regression.
 	Identical bool `json:"identical"`
@@ -77,13 +80,14 @@ func RunIntra(w Workload, widths []int, m int) (*IntraSweep, error) {
 				flat = append(flat, l.Answers()...)
 			}
 			res := IntraResult{
-				Workload:  w.Name,
-				Engine:    maker.Name,
-				Width:     width,
-				Seconds:   elapsed,
-				PagesRead: stats.PagesRead,
-				DistCalcs: stats.DistCalcs,
-				Identical: true,
+				Workload:         w.Name,
+				Engine:           maker.Name,
+				Width:            width,
+				Seconds:          elapsed,
+				PagesRead:        stats.PagesRead,
+				DistCalcs:        stats.DistCalcs,
+				PartialAbandoned: stats.PartialAbandoned,
+				Identical:        true,
 			}
 			if width == widths[0] {
 				ref, refPages = flat, stats.PagesRead

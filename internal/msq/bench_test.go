@@ -1,0 +1,71 @@
+package msq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metricdb/internal/query"
+	"metricdb/internal/scan"
+	"metricdb/internal/vec"
+	"metricdb/internal/xtree"
+)
+
+// BenchmarkMultiQueryAll measures a whole multi-query batch per iteration.
+// Run with -benchmem: allocations per op must stay flat in the page count,
+// because the page loop's avoidance scratch (known / dists / snap) is
+// pre-sized once per pass and reused across pages — per-worker in the
+// pipeline, a single buffer in the sequential path.
+func BenchmarkMultiQueryAll(b *testing.B) {
+	const n, dim, m = 4096, 16, 12
+	items := testDB(5, n, dim)
+	rng := rand.New(rand.NewSource(6))
+	queries := make([]Query, m)
+	for i := range queries {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		queries[i] = Query{ID: uint64(i + 1), Vec: v, Type: query.NewKNN(8)}
+	}
+
+	for _, cfg := range []struct {
+		name  string
+		width int
+	}{{"seq", 1}, {"pipeline4", 4}} {
+		b.Run(fmt.Sprintf("scan/%s", cfg.name), func(b *testing.B) {
+			e, err := scan.New(items, 32, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proc, err := New(e, vec.Euclidean{}, Options{Concurrency: cfg.width})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := proc.NewSession().MultiQueryAll(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("xtree/%s", cfg.name), func(b *testing.B) {
+			tr, err := xtree.Bulk(items, dim, xtree.Config{LeafCapacity: 32, DirFanout: 8, BufferPages: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			proc, err := New(tr, vec.Euclidean{}, Options{Concurrency: cfg.width})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := proc.NewSession().MultiQueryAll(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -164,22 +164,25 @@ func (s *Session) prepare(queries []Query) ([]*queryState, []*query.AnswerList, 
 // accounting snapshots the I/O and distance counters so a call can report
 // its own deltas.
 type accounting struct {
-	s          *Session
-	ioBefore   store.IOStats
-	distBefore int64
+	s             *Session
+	ioBefore      store.IOStats
+	distBefore    int64
+	abandonBefore int64
 }
 
 func (s *Session) beginAccounting() accounting {
 	return accounting{
-		s:          s,
-		ioBefore:   ioSnapshot(s.proc.eng.Pager()),
-		distBefore: s.proc.metric.Count(),
+		s:             s,
+		ioBefore:      ioSnapshot(s.proc.eng.Pager()),
+		distBefore:    s.proc.metric.Count(),
+		abandonBefore: s.proc.metric.Abandoned(),
 	}
 }
 
 func (a accounting) finish(stats *Stats) {
 	stats.PagesRead = a.s.proc.eng.Pager().Disk().Stats().Reads - a.ioBefore.Reads
 	stats.DistCalcs = a.s.proc.metric.Count() - a.distBefore - stats.MatrixDistCalcs
+	stats.PartialAbandoned = a.s.proc.metric.Abandoned() - a.abandonBefore
 }
 
 // identityPositions returns [0, 1, ..., n-1].
@@ -226,9 +229,14 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 		return nil
 	}
 
-	// active caches, per page, which queries still need the page.
+	// active caches, per page, which queries still need the page; known is
+	// the per-item avoidance scratch ("AvoidingDists"), pre-sized so the
+	// page loop never allocates in steady state.
 	active := make([]*queryState, 0, len(states))
 	activePos := make([]int, 0, len(states))
+	known := make([]knownDist, 0, len(states))
+	qds := make([]float64, len(states))
+	raiseScratch := make([]float64, len(states))
 
 	for _, ref := range plan {
 		if ref.MinDist > first.queryDist() {
@@ -246,7 +254,7 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 		}
 		stats.PageVisits += int64(len(active))
 
-		s.processPage(page, active, activePos, matrix, stats)
+		s.processPage(page, active, activePos, matrix, stats, known, qds, raiseScratch)
 
 		for _, st := range active {
 			st.processed[ref.ID] = struct{}{}
@@ -349,8 +357,13 @@ func (s *Session) seedFirstPages(states []*queryState, stats *Stats) error {
 		}
 		stats.PageVisits++
 		for i := range page.Items {
-			d := s.proc.metric.Distance(st.q.Vec, page.Items[i].Vec)
-			st.answers.Consider(page.Items[i].ID, d)
+			// The live bound (a-priori MAXDIST bound, tightening as the
+			// list fills) lets later items on the seed page abandon early;
+			// an abandoned item could not have entered the list.
+			d, within := s.proc.metric.DistanceWithin(st.q.Vec, page.Items[i].Vec, st.queryDist())
+			if within {
+				st.answers.Consider(page.Items[i].ID, d)
+			}
 		}
 		st.processed[best] = struct{}{}
 	}
@@ -396,34 +409,108 @@ func (s *Session) pairDistance(qi, qj Query, stats *Stats) float64 {
 }
 
 // knownDist records a distance already calculated from the current database
-// object to the query at position idx ("AvoidingDists" in Figure 4).
+// object to the query at position idx ("AvoidingDists" in Figure 4). When
+// the calculation was abandoned early by the bounded kernel, d is only a
+// lower bound on the true distance: sound for Lemma 1 (which needs
+// dist(O,Qj) to be large), and incapable of firing Lemma 2 — not by an
+// exactness flag (a data-dependent branch that mispredicts badly in
+// avoidable's probe loop when abandoned and exact entries interleave) but
+// by the abandonLimit invariant: an abandoned d strictly exceeds
+// dist(Q_j, Q_i) + QueryDist(Q_i) for every query i that can still probe
+// the entry with a finite pruning distance, and Lemma 2 would need d
+// *below* dist(Q_j, Q_i) - QueryDist(Q_i). A pruning distance becomes
+// finite only at its own query's turn — after that query's probes — and
+// that transition recomputes the raises, so the invariant covers every
+// probe. idx is an int32 so the entry packs into 16 bytes; avoidable scans
+// these linearly, so density matters.
 type knownDist struct {
-	idx int
-	d   float64
+	d   float64 // exact distance, or the abandoned partial lower bound
+	idx int32
 }
 
 // processPage tests every item of page against every active query, using
 // the triangle inequality over already-known distances to avoid
-// calculations where possible.
-func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats) {
-	mode := s.proc.opts.Avoidance
-	known := make([]knownDist, 0, len(active))
+// calculations where possible. Unavoidable calculations run through the
+// bounded distance kernel, which abandons mid-vector as soon as the partial
+// result proves the exact distance irrelevant. The abandonment limit is not
+// the query's own pruning distance but the abandonLimit raise of it, so an
+// abandoned calculation provably (a) could never have produced an answer
+// (Consider would reject it) and (b) fires Lemma 1 — and withholds Lemma 2
+// — for every later query on this item exactly where the exact distance
+// would, leaving DistCalcs and Avoided untouched relative to full-distance
+// evaluation. The partial result is appended to known like any other
+// distance, so later probes see the same entry sequence either way. known,
+// qds and raiseScratch are caller-owned scratch with cap >= len(active); their
+// contents are clobbered.
+//
+// Distance calculations bypass the Counting wrapper: the loop calls the raw
+// kernel and settles the calc/abandon counts in one AddCalls batch per
+// page, trading two atomic updates per evaluation for two per page.
+func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
+	kernel := s.proc.metric.Kernel()
+	var calcs, abandoned int64
+	// qds mirrors each active query's pruning distance exactly: a pruning
+	// distance changes only when the query's own Consider accepts an item
+	// (st.bound is fixed during the page loop), and every accept refreshes
+	// the mirror below — so the per-pair qd is a cached read, not a call.
+	qds = qds[:len(active)]
+	for i, st := range active {
+		qds[i] = st.queryDist()
+	}
+	// raise[a] caches the Lemma-1 horizon bound of abandonLimit, computed
+	// from the page-start qds. Pruning distances only shrink during the
+	// page, which leaves the cached raise too high — still at or above
+	// every live horizon (the identity requirement), merely abandoning
+	// less — so shrinks do not invalidate it. The one event that would
+	// make it too low is a pruning distance turning finite (a k-NN list
+	// filling up mid-page): that query's horizon springs into existence,
+	// so every cached raise is lifted to cover the new horizon then — an
+	// O(m) overapproximation (the suffix raise of a later position need
+	// not include the new query, but a higher raise stays valid). Each
+	// query transitions at most once per run.
+	var raise []float64
+	if avoiding {
+		raise = lemma1Raises(activeIdx, matrix, qds, raiseScratch)
+	}
 	for it := range page.Items {
 		item := &page.Items[it]
 		known = known[:0]
 		for a, st := range active {
 			pos := activeIdx[a]
-			if matrix != nil && mode != AvoidOff {
-				if s.avoidable(st.queryDist(), pos, known, matrix, &stats.AvoidTries) {
+			qd := qds[a]
+			limit := qd
+			if avoiding {
+				if s.avoidable(qd, pos, known, matrix, &stats.AvoidTries) {
 					stats.Avoided++
 					continue
 				}
+				limit = abandonLimit(qd, raise[a], len(known))
 			}
-			d := s.proc.metric.Distance(st.q.Vec, item.Vec)
-			known = append(known, knownDist{idx: pos, d: d})
-			st.answers.Consider(item.ID, d)
+			d, within := kernel.DistanceWithin(st.q.Vec, item.Vec, limit)
+			calcs++
+			if avoiding {
+				known = append(known, knownDist{d: d, idx: int32(pos)})
+			}
+			if within {
+				if st.answers.Consider(item.ID, d) {
+					wasInf := math.IsInf(qd, 1)
+					qds[a] = st.queryDist()
+					if avoiding && wasInf && !math.IsInf(qds[a], 1) {
+						row := matrix[pos]
+						for j, p := range activeIdx {
+							if t := row[p] + qds[a]; t > raise[j] {
+								raise[j] = t
+							}
+						}
+					}
+				}
+			} else {
+				abandoned++
+			}
 		}
 	}
+	s.proc.metric.AddCalls(calcs, abandoned)
 }
 
 // maxAvoidProbes caps how many known distances one avoidance decision
@@ -468,6 +555,57 @@ func (s *Session) avoidable(qd float64, pos int, known []knownDist, matrix [][]f
 		}
 	}
 	return false
+}
+
+// abandonLimit returns the early-abandonment limit for the distance between
+// the current item and a query with pruning distance qd: qd, raised so that
+// an abandoned calculation can never change a later avoidance decision for
+// the same item. A known distance d(O, Q_a) influences query i via Lemma 1
+// only when it exceeds the horizon dist(Q_a, Q_i) + QueryDist(Q_i), and via
+// Lemma 2 only when it falls below dist(Q_a, Q_i) - QueryDist(Q_i);
+// abandoning strictly above every probing query's Lemma-1 horizon therefore
+// guarantees the partial lower bound fires Lemma 1 exactly where the exact
+// distance would, and — since the Lemma-1 horizon is at or above the
+// Lemma-2 one whenever QueryDist(Q_i) >= 0 — that Lemma 2 can never fire on
+// the lower bound where the exact distance would not (neither can fire at
+// all above the horizon). Any limit at or above the horizons preserves this — a
+// larger limit merely abandons less — so raise is the cached per-page
+// suffix maximum from lemma1Raises rather than an exact per-pair O(m)
+// loop, which would itself dominate the per-pair bookkeeping. The raise is
+// skipped when the known entry can never be probed (the list already holds
+// maxAvoidProbes entries).
+func abandonLimit(qd, raise float64, knownLen int) float64 {
+	if knownLen >= maxAvoidProbes {
+		return qd
+	}
+	if raise > qd {
+		return raise
+	}
+	return qd
+}
+
+// lemma1Raises fills scratch with, per active position a, the maximum
+// Lemma-1 horizon dist(Q_a, Q_i) + qds[i] over the *later* positions i > a
+// — the only queries that can probe a known entry appended at position a,
+// since the known list is per item and scanned in active order. Infinite
+// pruning distances contribute no horizon (no lemma can fire against an
+// infinite query distance); with no later finite-qd query the raise is
+// -Inf and abandonLimit falls back to the query's own pruning distance.
+func lemma1Raises(activeIdx []int, matrix [][]float64, qds []float64, scratch []float64) []float64 {
+	raise := scratch[:len(activeIdx)]
+	for a, pos := range activeIdx {
+		row := matrix[pos]
+		m := math.Inf(-1)
+		for i := a + 1; i < len(activeIdx); i++ {
+			if qd := qds[i]; !math.IsInf(qd, 1) {
+				if t := row[activeIdx[i]] + qd; t > m {
+					m = t
+				}
+			}
+		}
+		raise[a] = m
+	}
+	return raise
 }
 
 // MultiQueryAll evaluates the whole batch to completion by running the

@@ -49,26 +49,32 @@ import (
 // avoidance decisions a pure function of (page, snapshot, matrix) — i.e.
 // identical across all widths >= 2 — and still sound, because a snapshot
 // bound is a valid (if slightly stale) upper bound on the final query
-// distance. Only DistCalcs/Avoided may differ from the width-1 path, which
-// tightens bounds item by item; answers and I/O never do.
+// distance. The bounded distance kernel's abandonment limit (abandonLimit)
+// is likewise derived from the snapshot only, so early-abandonment
+// decisions are snapshot-pure too. Only DistCalcs/Avoided/AvoidTries/
+// PartialAbandoned may differ from the width-1 path, which tightens bounds
+// item by item; answers and I/O never do.
 
 // workerPool is a bounded pool of goroutines executing closures. One pool is
-// created per multi-query pass and torn down when the pass ends.
+// created per multi-query pass and torn down when the pass ends. Each task
+// receives the stable index of the worker goroutine running it, so callers
+// can maintain per-worker scratch buffers without locking: a worker index
+// is owned by exactly one goroutine at a time.
 type workerPool struct {
-	tasks chan func()
+	tasks chan func(worker int)
 	wg    sync.WaitGroup
 }
 
 func newWorkerPool(n int) *workerPool {
-	p := &workerPool{tasks: make(chan func())}
+	p := &workerPool{tasks: make(chan func(worker int))}
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer p.wg.Done()
 			for fn := range p.tasks {
-				fn()
+				fn(worker)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
@@ -81,8 +87,10 @@ func (p *workerPool) close() {
 // forEachChunk splits [0, n) into at most maxChunks contiguous ranges,
 // runs fn on the pool for each, and blocks until all complete. fn must not
 // dispatch further pool work (the caller is never a pool worker, so a
-// single level cannot deadlock).
-func (p *workerPool) forEachChunk(n, maxChunks int, fn func(lo, hi int)) {
+// single level cannot deadlock). The single-chunk fast path runs inline on
+// the caller as worker 0; no pool task is in flight then, so the worker-0
+// scratch is safe to use.
+func (p *workerPool) forEachChunk(n, maxChunks int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -91,7 +99,7 @@ func (p *workerPool) forEachChunk(n, maxChunks int, fn func(lo, hi int)) {
 		chunks = n
 	}
 	if chunks <= 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	size := (n + chunks - 1) / chunks
@@ -103,9 +111,9 @@ func (p *workerPool) forEachChunk(n, maxChunks int, fn func(lo, hi int)) {
 		}
 		wg.Add(1)
 		lo, hi := lo, hi
-		p.tasks <- func() {
+		p.tasks <- func(worker int) {
 			defer wg.Done()
-			fn(lo, hi)
+			fn(worker, lo, hi)
 		}
 	}
 	wg.Wait()
@@ -186,7 +194,7 @@ func (s *Session) runPipeline(plan []engine.PageRef, states []*queryState, matri
 
 	active := make([]*queryState, 0, len(states))
 	activePos := make([]int, 0, len(states))
-	var scratch pageScratch
+	scratch := newPageScratch(width, len(states))
 
 	for i, ref := range plan {
 		var page *store.Page
@@ -222,7 +230,7 @@ func (s *Session) runPipeline(plan []engine.PageRef, states []*queryState, matri
 		active, activePos = s.decideActive(ref.ID, states, pos, active, activePos)
 		stats.PageVisits += int64(len(active))
 
-		s.processPageConcurrent(pool, page, active, activePos, matrix, stats, width, &scratch)
+		s.processPageConcurrent(pool, page, active, activePos, matrix, stats, width, scratch)
 
 		for _, st := range active {
 			st.processed[ref.ID] = struct{}{}
@@ -232,24 +240,45 @@ func (s *Session) runPipeline(plan []engine.PageRef, states []*queryState, matri
 }
 
 // pageScratch holds per-page buffers reused across the plan loop; the page
-// barrier guarantees no worker touches them once forEachChunk returns.
+// barrier guarantees no worker touches dists/snap once forEachChunk
+// returns. known is per-worker avoidance scratch ("AvoidingDists"): worker
+// w exclusively owns known[w] while it runs, so the buffers survive across
+// pages without locking or steady-state allocation.
 type pageScratch struct {
 	dists []float64
 	snap  []float64
+	raise []float64
+	known [][]knownDist
 }
 
-// avoidedDist marks an (item, query) slot whose distance calculation was
-// avoided by the triangle inequality. Proper metrics never produce NaN, so
-// the sentinel cannot collide with a computed distance.
-var avoidedDist = math.NaN()
+func newPageScratch(width, nStates int) *pageScratch {
+	sc := &pageScratch{known: make([][]knownDist, width)}
+	for w := range sc.known {
+		sc.known[w] = make([]knownDist, 0, nStates)
+	}
+	return sc
+}
+
+// skippedDist marks an (item, query) slot whose distance was not fully
+// computed — either avoided by the triangle inequality or abandoned by the
+// bounded kernel. Proper metrics never produce NaN, so the sentinel cannot
+// collide with a computed distance.
+var skippedDist = math.NaN()
 
 // processPageConcurrent evaluates one page against the active queries on the
 // worker pool and merges the results. Phase 1 partitions the page's items:
 // each worker computes (or avoids) the distances of its item range against
 // every active query, using the page-start snapshot of the pruning
-// distances. Phase 2 shards the merge by query: each answer list is fed its
-// page results in item order under the state's lock, reproducing the exact
-// Consider sequence the sequential path would issue for that query.
+// distances both for the avoidance lemmas and for the bounded kernel's
+// abandonment limit (abandonLimit) — so every phase-1 decision is a pure
+// function of (page, snapshot, matrix) and identical across all widths
+// >= 2. Phase 2
+// shards the merge by query: each answer list is fed its page results in
+// item order under the state's lock, reproducing the exact Consider
+// sequence the sequential path would issue for that query. An abandoned
+// distance exceeds the snapshot bound, which is an upper bound on the
+// query's final pruning distance, so the skipped item could never have
+// entered the answer list at any width.
 func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, width int, scratch *pageScratch) {
 	nItems, nActive := len(page.Items), len(active)
 	if nItems == 0 || nActive == 0 {
@@ -262,6 +291,7 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	}
 	if cap(scratch.snap) < nActive {
 		scratch.snap = make([]float64, nActive)
+		scratch.raise = make([]float64, nActive)
 	}
 	dists := scratch.dists[:nItems*nActive]
 	snap := scratch.snap[:nActive]
@@ -269,33 +299,53 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 		snap[a] = st.queryDist()
 	}
 
+	avoiding := matrix != nil && mode != AvoidOff
+	var raise []float64
+	if avoiding {
+		// Derived from the page-start snapshot only, like every other
+		// phase-1 input, so abandonment decisions stay snapshot-pure.
+		raise = lemma1Raises(activeIdx, matrix, snap, scratch.raise)
+	}
+	kernel := s.proc.metric.Kernel()
 	var tries, avoided atomic.Int64
-	pool.forEachChunk(nItems, width, func(lo, hi int) {
-		known := make([]knownDist, 0, nActive)
-		var localTries, localAvoided int64
+	pool.forEachChunk(nItems, width, func(worker, lo, hi int) {
+		known := scratch.known[worker][:0]
+		var localTries, localAvoided, localCalcs, localAbandoned int64
 		for it := lo; it < hi; it++ {
 			item := &page.Items[it]
 			row := dists[it*nActive : (it+1)*nActive]
 			known = known[:0]
 			for a := range active {
-				if matrix != nil && mode != AvoidOff &&
-					s.avoidable(snap[a], activeIdx[a], known, matrix, &localTries) {
-					localAvoided++
-					row[a] = avoidedDist
-					continue
+				limit := snap[a]
+				if avoiding {
+					if s.avoidable(snap[a], activeIdx[a], known, matrix, &localTries) {
+						localAvoided++
+						row[a] = skippedDist
+						continue
+					}
+					limit = abandonLimit(snap[a], raise[a], len(known))
 				}
-				d := s.proc.metric.Distance(active[a].q.Vec, item.Vec)
-				known = append(known, knownDist{idx: activeIdx[a], d: d})
-				row[a] = d
+				d, within := kernel.DistanceWithin(active[a].q.Vec, item.Vec, limit)
+				localCalcs++
+				if avoiding {
+					known = append(known, knownDist{d: d, idx: int32(activeIdx[a])})
+				}
+				if within {
+					row[a] = d
+				} else {
+					row[a] = skippedDist
+					localAbandoned++
+				}
 			}
 		}
+		s.proc.metric.AddCalls(localCalcs, localAbandoned)
 		tries.Add(localTries)
 		avoided.Add(localAvoided)
 	})
 	stats.AvoidTries += tries.Load()
 	stats.Avoided += avoided.Load()
 
-	pool.forEachChunk(nActive, width, func(lo, hi int) {
+	pool.forEachChunk(nActive, width, func(_, lo, hi int) {
 		for a := lo; a < hi; a++ {
 			st := active[a]
 			st.mu.Lock()

@@ -24,6 +24,7 @@ func (p *Processor) Single(q vec.Vector, t query.Type) (*query.AnswerList, Stats
 	answers := query.NewAnswerList(t)
 	ioBefore := ioSnapshot(p.eng.Pager())
 	distBefore := p.metric.Count()
+	abandonBefore := p.metric.Abandoned()
 	stats := Stats{Queries: 1}
 
 	plan := p.eng.Plan(q, t.InitialQueryDist())
@@ -40,12 +41,19 @@ func (p *Processor) Single(q vec.Vector, t query.Type) (*query.AnswerList, Stats
 		}
 		stats.PageVisits++
 		for i := range page.Items {
-			d := p.metric.Distance(q, page.Items[i].Vec)
-			answers.Consider(page.Items[i].ID, d)
+			// The live pruning distance doubles as the bounded kernel's
+			// abandonment limit: an abandoned item is strictly farther
+			// than the current query distance, so Consider would have
+			// rejected it anyway and the answer list is unchanged.
+			d, within := p.metric.DistanceWithin(q, page.Items[i].Vec, answers.QueryDist())
+			if within {
+				answers.Consider(page.Items[i].ID, d)
+			}
 		}
 	}
 
 	stats.PagesRead = p.eng.Pager().Disk().Stats().Reads - ioBefore.Reads
 	stats.DistCalcs = p.metric.Count() - distBefore
+	stats.PartialAbandoned = p.metric.Abandoned() - abandonBefore
 	return answers, stats, nil
 }

@@ -33,6 +33,15 @@ type Stats struct {
 	// Avoided counts distance calculations skipped thanks to the
 	// triangle inequality.
 	Avoided int64
+	// PartialAbandoned counts the subset of DistCalcs that the bounded
+	// distance kernels resolved early: the running partial result already
+	// exceeded the query's pruning bound, so the exact distance was
+	// irrelevant and the per-coordinate loop stopped mid-vector. An
+	// abandoned calculation is still a full member of the DistCalcs +
+	// Avoided accounting — abandonment saves the tail of the loop, not
+	// the call — so all paper invariants over those counters are
+	// unchanged by the kernels.
+	PartialAbandoned int64
 	// Degraded marks a result assembled under failures: some partition of
 	// the data could not be consulted, so answer lists are a sound subset
 	// of the fault-free result (k-NN answers become bounded-k-NN answers
@@ -49,13 +58,14 @@ type Stats struct {
 // Add returns the component-wise sum of s and t.
 func (s Stats) Add(t Stats) Stats {
 	return Stats{
-		Queries:         s.Queries + t.Queries,
-		PagesRead:       s.PagesRead + t.PagesRead,
-		PageVisits:      s.PageVisits + t.PageVisits,
-		DistCalcs:       s.DistCalcs + t.DistCalcs,
-		MatrixDistCalcs: s.MatrixDistCalcs + t.MatrixDistCalcs,
-		AvoidTries:      s.AvoidTries + t.AvoidTries,
-		Avoided:         s.Avoided + t.Avoided,
+		Queries:          s.Queries + t.Queries,
+		PagesRead:        s.PagesRead + t.PagesRead,
+		PageVisits:       s.PageVisits + t.PageVisits,
+		DistCalcs:        s.DistCalcs + t.DistCalcs,
+		MatrixDistCalcs:  s.MatrixDistCalcs + t.MatrixDistCalcs,
+		AvoidTries:       s.AvoidTries + t.AvoidTries,
+		Avoided:          s.Avoided + t.Avoided,
+		PartialAbandoned: s.PartialAbandoned + t.PartialAbandoned,
 
 		Degraded:           s.Degraded || t.Degraded,
 		PartitionsTotal:    s.PartitionsTotal + t.PartitionsTotal,

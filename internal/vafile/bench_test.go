@@ -1,0 +1,63 @@
+package vafile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metricdb/internal/engine"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// BenchmarkSortRefs measures the plan ordering on large page counts — the
+// regime where the previous insertion sort's quadratic cost dominated Plan
+// for VA-files with thousands of pages.
+func BenchmarkSortRefs(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		rng := rand.New(rand.NewSource(1))
+		refs := make([]engine.PageRef, n)
+		for i := range refs {
+			refs[i] = engine.PageRef{ID: store.PageID(i), MinDist: rng.Float64()}
+		}
+		scratch := make([]engine.PageRef, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, refs)
+				sortRefs(scratch)
+			}
+		})
+	}
+}
+
+// BenchmarkPlan exercises the full approximation scan over a many-page
+// VA-file, whose output ordering runs through sortRefs.
+func BenchmarkPlan(b *testing.B) {
+	const dim, nItems = 8, 8192
+	rng := rand.New(rand.NewSource(2))
+	items := make([]store.Item, nItems)
+	for i := range items {
+		v := make(vec.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		items[i] = store.Item{ID: store.ItemID(i), Vec: v}
+	}
+	e, err := New(items, Config{PageCapacity: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := make(vec.Vector, dim)
+	for d := range q {
+		q[d] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refs := e.Plan(q, 0.4)
+		benchSinkRefs = len(refs)
+	}
+}
+
+var benchSinkRefs int

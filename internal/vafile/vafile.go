@@ -22,6 +22,7 @@ package vafile
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"metricdb/internal/engine"
 	"metricdb/internal/store"
@@ -273,18 +274,12 @@ func (e *Engine) Plan(q vec.Vector, queryDist float64) []engine.PageRef {
 }
 
 func sortRefs(refs []engine.PageRef) {
-	// Insertion sort keeps the common mostly-sorted case cheap and avoids
-	// an import cycle on sort.Slice closures in the hot path — page
-	// counts are small (thousands).
-	for i := 1; i < len(refs); i++ {
-		r := refs[i]
-		j := i - 1
-		for j >= 0 && (refs[j].MinDist > r.MinDist || (refs[j].MinDist == r.MinDist && refs[j].ID > r.ID)) {
-			refs[j+1] = refs[j]
-			j--
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].MinDist != refs[j].MinDist {
+			return refs[i].MinDist < refs[j].MinDist
 		}
-		refs[j+1] = r
-	}
+		return refs[i].ID < refs[j].ID
+	})
 }
 
 // pageLowerBound is the minimum item lower bound of the page.

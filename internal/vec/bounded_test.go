@@ -1,0 +1,203 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// boundedTestMetrics returns every metric with a native bounded kernel,
+// constructed for the given dimensionality, plus the quadratic form as a
+// representative of the generic full-calculation fallback.
+func boundedTestMetrics(t testing.TB, dim int, rng *rand.Rand) []Metric {
+	t.Helper()
+	mink3, err := NewMinkowski(3)
+	if err != nil {
+		t.Fatalf("NewMinkowski(3): %v", err)
+	}
+	mink25, err := NewMinkowski(2.5)
+	if err != nil {
+		t.Fatalf("NewMinkowski(2.5): %v", err)
+	}
+	weights := make(Vector, dim)
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+	}
+	we, err := NewWeightedEuclidean(weights)
+	if err != nil {
+		t.Fatalf("NewWeightedEuclidean: %v", err)
+	}
+	qf, err := NewQuadraticForm(dim, IdentityMatrix(dim))
+	if err != nil {
+		t.Fatalf("NewQuadraticForm: %v", err)
+	}
+	return []Metric{Euclidean{}, Manhattan{}, Chebyshev{}, mink3, mink25, we, qf}
+}
+
+// checkWithinContract asserts the full BoundedMetric contract for one
+// (metric, pair, limit) instance against the reference full distance.
+func checkWithinContract(t *testing.T, m Metric, a, b Vector, limit, full float64) {
+	t.Helper()
+	d, within := DistanceWithin(m, a, b, limit)
+	if within != (full <= limit) {
+		t.Fatalf("%s: within=%v but Distance=%v, limit=%v", m.Name(), within, full, limit)
+	}
+	if within && d != full {
+		t.Fatalf("%s: within=true returned d=%v, want the exact Distance %v (limit %v)",
+			m.Name(), d, full, limit)
+	}
+	if !within && !(d <= full) {
+		t.Fatalf("%s: within=false returned d=%v > Distance %v, not a lower bound (limit %v)",
+			m.Name(), d, full, limit)
+	}
+	if !within && math.IsInf(limit, 1) {
+		t.Fatalf("%s: abandoned under an infinite limit", m.Name())
+	}
+}
+
+// TestDistanceWithinAgreesWithDistance is the property test for the bounded
+// kernels: for every metric, random pairs at many dimensionalities (odd
+// tails exercise the unrolled loops' remainder handling) and adversarial
+// limits — 0, +Inf, the exact distance, and one-ulp neighbors of it —
+// DistanceWithin must classify exactly like "Distance <= limit", return the
+// bitwise-identical distance when within, and only a lower bound otherwise.
+func TestDistanceWithinAgreesWithDistance(t *testing.T) {
+	rounds := 120
+	if testing.Short() {
+		rounds = 25
+	}
+	for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 33, 64} {
+		rng := rand.New(rand.NewSource(int64(1000 + dim)))
+		for _, m := range boundedTestMetrics(t, dim, rng) {
+			m := m
+			t.Run(fmt.Sprintf("%s/dim=%d", m.Name(), dim), func(t *testing.T) {
+				for r := 0; r < rounds; r++ {
+					a := randomVector(rng, dim)
+					b := randomVector(rng, dim)
+					if r%8 == 0 {
+						b = a.Clone() // identity: distance exactly 0
+					}
+					full := m.Distance(a, b)
+					limits := []float64{
+						0,
+						math.Inf(1),
+						full,                         // boundary: within must hold at equality
+						math.Nextafter(full, 0),      // one ulp short: must abandon
+						math.Nextafter(full, full+1), // one ulp beyond
+						full * 0.25,
+						full * 0.75,
+						full * 1.5,
+						rng.Float64() * 2 * full,
+					}
+					for _, limit := range limits {
+						checkWithinContract(t, m, a, b, limit, full)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDistanceWithinCounting checks the accounting rules of the Counting
+// wrapper: every bounded evaluation counts as one distance calculation
+// whether or not it is abandoned, and the abandoned counter records exactly
+// the within=false outcomes. The invariant DistCalcs-style counters depend
+// on is Abandoned() <= Count() with both reset together.
+func TestDistanceWithinCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewCounting(Euclidean{})
+	const dim, n = 16, 200
+	var wantAbandoned int64
+	for i := 0; i < n; i++ {
+		a := randomVector(rng, dim)
+		b := randomVector(rng, dim)
+		full := Euclidean{}.Distance(a, b)
+		limit := rng.Float64() * 2 * full
+		d, within := c.DistanceWithin(a, b, limit)
+		if within != (full <= limit) || (within && d != full) {
+			t.Fatalf("counting wrapper changed the kernel result at round %d", i)
+		}
+		if !within {
+			wantAbandoned++
+		}
+	}
+	if c.Count() != n {
+		t.Fatalf("Count() = %d after %d bounded evaluations, want %d", c.Count(), n, n)
+	}
+	if c.Abandoned() != wantAbandoned {
+		t.Fatalf("Abandoned() = %d, want %d", c.Abandoned(), wantAbandoned)
+	}
+	if c.Reset() != n {
+		t.Fatalf("Reset() did not return the previous count")
+	}
+	if c.Count() != 0 || c.Abandoned() != 0 {
+		t.Fatalf("Reset() left counters at n=%d abandoned=%d", c.Count(), c.Abandoned())
+	}
+}
+
+// TestDistanceWithinFallback pins the generic-fallback path: a metric
+// without a native kernel (the quadratic form) must never abandon — the
+// distance is always computed in full — yet still classify exactly.
+func TestDistanceWithinFallback(t *testing.T) {
+	dim := 8
+	qf, err := NewQuadraticForm(dim, IdentityMatrix(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Metric(qf).(BoundedMetric); ok {
+		t.Fatal("quadratic form unexpectedly implements BoundedMetric; pick another fallback specimen")
+	}
+	rng := rand.New(rand.NewSource(7))
+	c := NewCounting(qf)
+	a, b := randomVector(rng, dim), randomVector(rng, dim)
+	full := qf.Distance(a, b)
+	if d, within := c.DistanceWithin(a, b, full/2); within || d != full {
+		t.Fatalf("fallback: got (%v, %v), want the full distance %v and within=false", d, within, full)
+	}
+	if c.Count() != 1 || c.Abandoned() != 1 {
+		t.Fatalf("fallback accounting: n=%d abandoned=%d, want 1 and 1", c.Count(), c.Abandoned())
+	}
+}
+
+// TestMinkowskiIntegerFastPath checks that the repeated-multiplication term
+// evaluation for small integer orders matches math.Pow closely and that
+// orders 1 and 2 delegate bitwise to the L1/L2 kernels.
+func TestMinkowskiIntegerFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []float64{3, 4, 5} {
+		m, err := NewMinkowski(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			x := rng.Float64() * 10
+			got, want := m.term(x), math.Pow(x, p)
+			if diff := math.Abs(got - want); diff > 1e-12*math.Max(1, want) {
+				t.Fatalf("term(%v) with p=%v: %v, math.Pow gives %v", x, p, got, want)
+			}
+		}
+	}
+	for _, p := range []float64{1, 2} {
+		m, err := NewMinkowski(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			a, b := randomVector(rng, 9), randomVector(rng, 9)
+			var want float64
+			if p == 1 {
+				want = Manhattan{}.Distance(a, b)
+			} else {
+				want = Euclidean{}.Distance(a, b)
+			}
+			if got := m.Distance(a, b); got != want {
+				t.Fatalf("minkowski(%g).Distance = %v, want the specialized kernel's %v", p, got, want)
+			}
+			gd, gw := m.DistanceWithin(a, b, want)
+			if !gw || gd != want {
+				t.Fatalf("minkowski(%g).DistanceWithin at the boundary: (%v, %v), want (%v, true)", p, gd, gw, want)
+			}
+		}
+	}
+}

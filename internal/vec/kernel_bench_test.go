@@ -1,0 +1,90 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Microbenchmarks for the bounded distance kernels: full Distance against
+// DistanceWithin at several abandon rates. The limit for a target rate is
+// the matching quantile of the benchmark pairs' distance distribution, so
+// "abandon=95" means ~95% of evaluations abandon mid-vector — the regime
+// the multi-query hot path lives in, where most offered items are far
+// outside the pruning bound. abandon=0 uses an infinite limit and measures
+// the kernel's bookkeeping overhead when the bound never helps.
+
+var (
+	benchSinkF float64
+	benchSinkB bool
+)
+
+type benchPair struct{ a, b Vector }
+
+func benchPairs(dim, n int, seed int64) []benchPair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]benchPair, n)
+	for i := range pairs {
+		pairs[i] = benchPair{randomVector(rng, dim), randomVector(rng, dim)}
+	}
+	return pairs
+}
+
+// limitForRate returns the distance quantile such that about rate of the
+// pairs abandon (their distance exceeds the limit). rate 0 returns +Inf.
+func limitForRate(m Metric, pairs []benchPair, rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	ds := make([]float64, len(pairs))
+	for i, p := range pairs {
+		ds[i] = m.Distance(p.a, p.b)
+	}
+	sort.Float64s(ds)
+	idx := int(float64(len(ds)) * (1 - rate))
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+func benchKernelMetrics(b *testing.B, dim int) []Metric {
+	rng := rand.New(rand.NewSource(99))
+	return boundedTestMetrics(b, dim, rng)[:6] // drop the quadratic-form fallback
+}
+
+func BenchmarkDistanceFull(b *testing.B) {
+	for _, dim := range []int{4, 16, 64} {
+		pairs := benchPairs(dim, 256, int64(dim))
+		for _, m := range benchKernelMetrics(b, dim) {
+			b.Run(fmt.Sprintf("%s/dim=%d", m.Name(), dim), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := pairs[i&255]
+					benchSinkF = m.Distance(p.a, p.b)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDistanceWithin(b *testing.B) {
+	for _, dim := range []int{4, 16, 64} {
+		pairs := benchPairs(dim, 256, int64(dim))
+		for _, m := range benchKernelMetrics(b, dim) {
+			for _, rate := range []float64{0, 0.5, 0.95} {
+				limit := limitForRate(m, pairs, rate)
+				b.Run(fmt.Sprintf("%s/dim=%d/abandon=%d", m.Name(), dim, int(rate*100)), func(b *testing.B) {
+					b.ReportAllocs()
+					bm := m.(BoundedMetric)
+					for i := 0; i < b.N; i++ {
+						p := pairs[i&255]
+						benchSinkF, benchSinkB = bm.DistanceWithin(p.a, p.b, limit)
+					}
+				})
+			}
+		}
+	}
+}

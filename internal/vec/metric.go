@@ -70,8 +70,15 @@ func (Chebyshev) Name() string { return "chebyshev" }
 // Minkowski is the Lp metric for p >= 1. For p < 1 the triangle inequality
 // fails, so NewMinkowski rejects such p.
 type Minkowski struct {
-	p float64
+	p    float64
+	invp float64 // 1/p, precomputed so both kernels finalize identically
+	ip   int     // p as an integer when integral and small, else 0
 }
+
+// maxIntPow bounds the integer-exponent fast path: beyond this order the
+// repeated-multiplication loop stops being clearly cheaper than math.Pow,
+// and real workloads never use such orders.
+const maxIntPow = 32
 
 // NewMinkowski returns the Lp metric. It returns an error if p < 1, because
 // Lp is not a metric there.
@@ -79,17 +86,43 @@ func NewMinkowski(p float64) (Minkowski, error) {
 	if p < 1 || math.IsNaN(p) || math.IsInf(p, 0) {
 		return Minkowski{}, fmt.Errorf("vec: Minkowski order p must be a finite value >= 1, got %v", p)
 	}
-	return Minkowski{p: p}, nil
+	m := Minkowski{p: p, invp: 1 / p}
+	if p == math.Trunc(p) && p <= maxIntPow {
+		m.ip = int(p)
+	}
+	return m, nil
 }
 
-// Distance returns the Lp distance between a and b.
+// term returns x^p for one non-negative coordinate gap, using repeated
+// multiplication for small integer orders instead of math.Pow.
+func (m Minkowski) term(x float64) float64 {
+	if m.ip != 0 {
+		r := x
+		for i := 1; i < m.ip; i++ {
+			r *= x
+		}
+		return r
+	}
+	return math.Pow(x, m.p)
+}
+
+// Distance returns the Lp distance between a and b. Orders 1 and 2 delegate
+// to the specialized L1/L2 kernels, so the generic metric is never slower
+// than naming the specialized one; other integer orders replace the
+// per-coordinate math.Pow with repeated multiplication.
 func (m Minkowski) Distance(a, b Vector) float64 {
+	switch m.p {
+	case 1:
+		return Manhattan{}.Distance(a, b)
+	case 2:
+		return Euclidean{}.Distance(a, b)
+	}
 	mustSameDim(a, b)
 	var s float64
 	for i := range a {
-		s += math.Pow(math.Abs(a[i]-b[i]), m.p)
+		s += m.term(math.Abs(a[i] - b[i]))
 	}
-	return math.Pow(s, 1/m.p)
+	return math.Pow(s, m.invp)
 }
 
 // Name returns "minkowski(p)".

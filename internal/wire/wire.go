@@ -106,6 +106,10 @@ type Stats struct {
 	MatrixDistCalcs int64 `json:"matrix_dist_calcs"`
 	AvoidTries      int64 `json:"avoid_tries"`
 	Avoided         int64 `json:"avoided"`
+	// PartialAbandoned counts bounded-kernel distance calculations that
+	// stopped mid-vector because the partial result already exceeded the
+	// query's pruning bound (a subset of DistCalcs).
+	PartialAbandoned int64 `json:"partial_abandoned"`
 	// Degraded and Coverage expose the degraded-result contract when the
 	// backing processor runs over a partitioned execution; a single-node
 	// server always reports Degraded=false, Coverage=1.
@@ -115,14 +119,15 @@ type Stats struct {
 
 func fromStats(s msq.Stats) Stats {
 	return Stats{
-		Queries:         s.Queries,
-		PagesRead:       s.PagesRead,
-		DistCalcs:       s.DistCalcs,
-		MatrixDistCalcs: s.MatrixDistCalcs,
-		AvoidTries:      s.AvoidTries,
-		Avoided:         s.Avoided,
-		Degraded:        s.Degraded,
-		Coverage:        s.Coverage(),
+		Queries:          s.Queries,
+		PagesRead:        s.PagesRead,
+		DistCalcs:        s.DistCalcs,
+		MatrixDistCalcs:  s.MatrixDistCalcs,
+		AvoidTries:       s.AvoidTries,
+		Avoided:          s.Avoided,
+		PartialAbandoned: s.PartialAbandoned,
+		Degraded:         s.Degraded,
+		Coverage:         s.Coverage(),
 	}
 }
 
