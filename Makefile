@@ -1,8 +1,9 @@
-.PHONY: check fmt vet build test race differential bench bench-all
+.PHONY: check fmt vet build test race differential obsgate bench bench-all
 
 # The pre-PR gate: formatting, static analysis, build, race-enabled tests,
-# and the multi-query differential suite under the race detector.
-check: fmt vet build race differential
+# the multi-query differential suite under the race detector, and the
+# disabled-hooks overhead gate.
+check: fmt vet build race differential obsgate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,16 +31,24 @@ differential:
 	go test -race -count=1 -run 'TestDifferential|TestLemma|TestStress|TestDistanceWithin|TestMinkowski|TestBufferConcurrency|TestDiskConcurrent|TestPagerSingleflight' \
 		./internal/msq/ ./internal/store/ ./internal/vec/
 
+# The observability overhead gate: with no tracer installed, the hooked
+# page loop must run within 2% of the bare loop. Timing-sensitive, so it
+# runs without the race detector (under -race the test skips itself).
+obsgate:
+	go test -count=1 -run TestDisabledHookOverhead ./internal/obs/
+
 # The perf gate for the hot path: kernel microbenchmarks (full Distance vs
 # bounded DistanceWithin, with allocation counts for the scratch-reuse
 # check), then the end-to-end artifacts — the kernels experiment
-# (BENCH_kernels.json) and the intra pipeline sweep
-# (BENCH_parallel_intra.json).
+# (BENCH_kernels.json), the intra pipeline sweep
+# (BENCH_parallel_intra.json) and the phase-latency profile
+# (BENCH_obs.json).
 bench:
 	go test -bench='BenchmarkDistance|BenchmarkSortRefs|BenchmarkMultiQueryAll' -benchmem -run=^$$ \
 		./internal/vec/ ./internal/vafile/ ./internal/msq/
 	go run ./cmd/msqbench -experiment kernels
 	go run ./cmd/msqbench -experiment intra
+	go run ./cmd/msqbench -experiment obs
 
 # Every benchmark in the repository, including the paper-figure suites.
 bench-all:

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
 //	         [-kernels-out BENCH_kernels.json]
+//	         [-obs-out BENCH_obs.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
@@ -24,6 +25,13 @@
 // full Distance against early-abandoning DistanceWithin per metric, vector
 // dimensionality and abandon rate, writing the ns/op table to -kernels-out
 // as JSON.
+//
+// The obs experiment profiles the multi-query processor with the
+// observability tracer enabled: per-phase latency histograms (page fetch
+// and wait, query-distance matrix, kernel, avoidance checks, merge) per
+// engine and pipeline width, re-checking that every traced run returned
+// answers and counters identical to an untraced reference, and writes the
+// phase baseline to -obs-out as JSON.
 //
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
@@ -51,15 +59,16 @@ func main() {
 		measure    = flag.Bool("measure", false, "calibrate the cost model on this host instead of nominal 1999 constants")
 		intraOut   = flag.String("intra-out", "BENCH_parallel_intra.json", "output file for the intra experiment's JSON results")
 		kernelsOut = flag.String("kernels-out", "BENCH_kernels.json", "output file for the kernels experiment's JSON results")
+		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -73,7 +82,7 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
-		"intra": true, "kernels": true}
+		"intra": true, "kernels": true, "obs": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -124,7 +133,8 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	needParallel := want("fig11") || want("fig12")
 	needChaos := want("chaos")
 	needIntra := want("intra")
-	if !needSweep && !needParallel && !needChaos && !needIntra {
+	needObs := want("obs")
+	if !needSweep && !needParallel && !needChaos && !needIntra && !needObs {
 		return nil
 	}
 
@@ -204,6 +214,30 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", intraOut)
+	}
+
+	if needObs {
+		var profiles []*experiments.ObsProfile
+		for _, wl := range workloads {
+			profile, err := experiments.RunObs(wl.w, []int{1, 2, 8}, sc.BaseM)
+			if err != nil {
+				return err
+			}
+			for _, r := range profile.Results {
+				if !r.Identical {
+					return fmt.Errorf("obs: %s/%s width %d: traced run diverged from the untraced reference",
+						r.Workload, r.Engine, r.Width)
+				}
+			}
+			if err := emit(profile.Figure()); err != nil {
+				return err
+			}
+			profiles = append(profiles, profile)
+		}
+		if err := experiments.WriteObsJSONFile(obsOut, profiles); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", obsOut)
 	}
 
 	if needParallel {

@@ -9,6 +9,7 @@
 //	          [-engine scan|xtree|vafile] [-concurrency 1]
 //	          [-max-conns 0] [-max-request-bytes 1048576]
 //	          [-read-timeout 0] [-write-timeout 10s] [-drain 5s]
+//	          [-admin 127.0.0.1:7708] [-slow-query 100ms]
 //
 // Request/response format (one JSON object per line):
 //
@@ -23,6 +24,14 @@
 // of a dropped connection. SIGINT/SIGTERM drain gracefully: the listener
 // closes, in-flight requests finish within the -drain grace period, then
 // remaining connections are force-closed.
+//
+// -admin binds a second, HTTP, listener with the observability surface:
+// GET /metrics (Prometheus text: per-phase latency histograms, buffer and
+// disk gauges, wire counters), GET /debug/traces (recent phase spans as
+// JSONL), GET /debug/slow (the slow-query log, threshold -slow-query) and
+// /debug/pprof/*. When -admin is empty no tracer is installed and the
+// query path runs with observability hooks disabled (the near-zero
+// overhead configuration).
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +48,7 @@ import (
 
 	"metricdb"
 	"metricdb/internal/dataset"
+	"metricdb/internal/obs"
 	"metricdb/internal/wire"
 )
 
@@ -55,6 +66,9 @@ func main() {
 		readTO    = flag.Duration("read-timeout", 0, "idle read deadline per connection (0 = none)")
 		writeTO   = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace period")
+
+		adminAddr = flag.String("admin", "", "admin HTTP listen address for /metrics, /debug/traces and /debug/pprof (empty = observability disabled)")
+		slowQuery = flag.Duration("slow-query", obs.DefaultSlowQueryThreshold, "slow-query log threshold (needs -admin; negative disables the log)")
 	)
 	flag.Parse()
 	cfg := wire.ServerConfig{
@@ -65,13 +79,13 @@ func main() {
 		Logf:            log.Printf,
 		Concurrency:     *width,
 	}
-	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain); err != nil {
+	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain, *adminAddr, *slowQuery); err != nil {
 		fmt.Fprintln(os.Stderr, "msqserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig, drain time.Duration) error {
+func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig, drain time.Duration, adminAddr string, slowQuery time.Duration) error {
 	var items []metricdb.Item
 	var err error
 	if dataFile != "" {
@@ -83,11 +97,19 @@ func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig
 		return err
 	}
 
-	srv, lis, err := serve(addr, items, engine, cfg)
+	srv, lis, adminLis, err := serve(addr, items, engine, cfg, adminAddr, slowQuery)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serving %d items (%s engine) on %s\n", len(items), engine, lis.Addr())
+	if adminLis != nil {
+		fmt.Printf("admin HTTP (metrics, traces, pprof) on %s\n", adminLis.lis.Addr())
+		go func() {
+			if err := adminLis.srv.Serve(adminLis.lis); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("msqserver: admin listener: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -114,23 +136,104 @@ func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig
 	default:
 		srv.Close() //nolint:errcheck
 	}
+	if adminLis != nil {
+		adminLis.srv.Close() //nolint:errcheck
+	}
 	signal.Stop(sig)
 	return err
 }
 
-// serve builds the database and binds the listener (separated for tests).
-func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerConfig) (*wire.Server, net.Listener, error) {
-	db, err := metricdb.Open(items, metricdb.Options{Engine: metricdb.EngineKind(engine)})
-	if err != nil {
-		return nil, nil, err
+// adminListener pairs the admin HTTP server with its bound listener.
+type adminListener struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// serve builds the database and binds the listeners (separated for tests).
+// When adminAddr is non-empty the query path runs with a tracer installed
+// and the returned adminListener serves the observability endpoints.
+func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerConfig, adminAddr string, slowQuery time.Duration) (*wire.Server, net.Listener, *adminListener, error) {
+	opts := metricdb.Options{Engine: metricdb.EngineKind(engine)}
+	if err := opts.Validate(); err != nil {
+		return nil, nil, nil, err
 	}
-	srv, err := wire.NewServerWithConfig(db.Processor(), cfg)
+	db, err := metricdb.Open(items, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+
+	proc := db.Processor()
+	var tracer *obs.Tracer
+	if adminAddr != "" {
+		tracer = obs.New(obs.Config{SlowQueryThreshold: slowQuery})
+		proc = proc.WithTracer(tracer) // also installs the pager's page_fetch hook
+		cfg.Tracer = tracer
+	}
+	srv, err := wire.NewServerWithConfig(proc, cfg)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return srv, lis, nil
+
+	var admin *adminListener
+	if adminAddr != "" {
+		alis, err := net.Listen("tcp", adminAddr)
+		if err != nil {
+			lis.Close() //nolint:errcheck
+			return nil, nil, nil, err
+		}
+		reg := newRegistry(tracer, db, srv, engine)
+		admin = &adminListener{
+			srv: &http.Server{Handler: obs.AdminHandler(reg), ReadHeaderTimeout: 5 * time.Second},
+			lis: alis,
+		}
+	}
+	return srv, lis, admin, nil
+}
+
+// newRegistry registers gauges and counters over the live database, buffer
+// pool, disk and wire-server counters; values are sampled at scrape time.
+func newRegistry(tracer *obs.Tracer, db *metricdb.DB, srv *wire.Server, engine string) *obs.Registry {
+	reg := obs.NewRegistry(tracer)
+	engLabel := fmt.Sprintf("engine=%q", engine)
+
+	reg.Gauge("metricdb_db_items", engLabel, "Objects in the database.",
+		func() float64 { return float64(db.Len()) })
+	reg.Gauge("metricdb_db_pages", engLabel, "Data pages in the physical organization.",
+		func() float64 { return float64(db.NumPages()) })
+
+	reg.Counter("metricdb_disk_reads_total", `kind="seq"`, "Page reads that reached the disk.",
+		func() float64 { return float64(db.IOStats().SeqReads) })
+	reg.Counter("metricdb_disk_reads_total", `kind="rand"`, "Page reads that reached the disk.",
+		func() float64 { return float64(db.IOStats().RandReads) })
+
+	buf := db.Processor().Engine().Pager().Buffer()
+	reg.Counter("metricdb_buffer_hits_total", "", "Buffer-pool lookups served without disk I/O.",
+		func() float64 { hits, _, _ := buf.HitRate(); return float64(hits) })
+	reg.Counter("metricdb_buffer_misses_total", "", "Buffer-pool lookups that missed.",
+		func() float64 { _, misses, _ := buf.HitRate(); return float64(misses) })
+	reg.Gauge("metricdb_buffer_pages", "", "Pages currently resident in the buffer pool.",
+		func() float64 { return float64(buf.Len()) })
+	reg.Gauge("metricdb_buffer_capacity_pages", "", "Buffer-pool capacity in pages.",
+		func() float64 { return float64(buf.Capacity()) })
+
+	reg.Counter("metricdb_distance_calcs_total", "", "Distance function invocations.",
+		func() float64 { return float64(db.ProcessorStats().DistCalcs) })
+	reg.Counter("metricdb_distance_partial_total", "", "Distance calculations abandoned early by the bounded kernels.",
+		func() float64 { return float64(db.ProcessorStats().PartialAbandoned) })
+
+	reg.Gauge("metricdb_wire_connections", "", "Open client connections.",
+		func() float64 { return float64(srv.ConnCount()) })
+	reg.Counter("metricdb_wire_requests_total", "", "Requests received on the wire protocol.",
+		func() float64 { return float64(srv.RequestCount()) })
+	reg.Counter("metricdb_wire_bad_requests_total", "", "Requests rejected with code bad_request.",
+		func() float64 { return float64(srv.BadRequestCount()) })
+	reg.Counter("metricdb_wire_engine_errors_total", "", "Requests failed with code engine_error.",
+		func() float64 { return float64(srv.EngineErrorCount()) })
+	reg.Counter("metricdb_wire_refused_total", "", "Connections refused (overload or shutdown).",
+		func() float64 { return float64(srv.RefusedCount()) })
+	return reg
 }

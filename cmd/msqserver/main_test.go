@@ -3,7 +3,9 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -14,7 +16,7 @@ import (
 
 func TestServeEndToEnd(t *testing.T) {
 	items := dataset.Uniform(3, 500, 4)
-	srv, lis, err := serve("127.0.0.1:0", items, "xtree", wire.ServerConfig{})
+	srv, lis, _, err := serve("127.0.0.1:0", items, "xtree", wire.ServerConfig{}, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 func TestServeRejectsBadEngine(t *testing.T) {
 	items := dataset.Uniform(4, 50, 3)
-	if _, _, err := serve("127.0.0.1:0", items, "btree", wire.ServerConfig{}); err == nil {
+	if _, _, _, err := serve("127.0.0.1:0", items, "btree", wire.ServerConfig{}, "", 0); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
@@ -52,7 +54,7 @@ func TestServeRejectsBadEngine(t *testing.T) {
 // silently dropped connection.
 func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 	items := dataset.Uniform(5, 200, 3)
-	srv, lis, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{})
+	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 // listener, lets connected clients finish, and Serve returns cleanly.
 func TestGracefulDrain(t *testing.T) {
 	items := dataset.Uniform(6, 300, 3)
-	srv, lis, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{})
+	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,5 +112,76 @@ func TestGracefulDrain(t *testing.T) {
 	// New connections are refused after the drain.
 	if _, err := net.DialTimeout("tcp", lis.Addr().String(), time.Second); err == nil {
 		t.Error("listener still accepting after Shutdown")
+	}
+}
+
+// TestAdminEndpoints serves with -admin enabled, runs a query over the
+// wire, and checks that /metrics exposes the phase histograms and wire
+// counters and that /debug/traces returns the recorded spans as JSONL.
+func TestAdminEndpoints(t *testing.T) {
+	items := dataset.Uniform(7, 400, 4)
+	srv, lis, admin, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "127.0.0.1:0", time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+	if admin == nil {
+		t.Fatal("admin listener not built")
+	}
+	go admin.srv.Serve(admin.lis) //nolint:errcheck
+	defer admin.srv.Close()
+
+	c, err := wire.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Query(wire.QuerySpec{Vector: []float64{0.5, 0.5, 0.5, 0.5}, Kind: "knn", K: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + admin.lis.Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`metricdb_phase_duration_seconds_count{phase="kernel"}`,
+		"metricdb_wire_requests_total 1",
+		"metricdb_buffer_capacity_pages",
+		`metricdb_disk_reads_total{kind="rand"}`,
+		"metricdb_traced_queries_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	traces := get("/debug/traces")
+	if !strings.Contains(traces, `"phase":"kernel"`) {
+		t.Errorf("/debug/traces has no kernel span: %.200s", traces)
+	}
+	var span map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(traces, "\n", 2)[0]), &span); err != nil {
+		t.Errorf("/debug/traces first line is not JSON: %v", err)
+	}
+
+	slow := get("/debug/slow")
+	if !strings.Contains(slow, `"op": "single"`) {
+		t.Errorf("/debug/slow missing the query at 1ns threshold: %.200s", slow)
 	}
 }

@@ -1,6 +1,7 @@
 package metricdb
 
 import (
+	"context"
 	"fmt"
 
 	"metricdb/internal/engine"
@@ -79,6 +80,72 @@ type XTreeOptions struct {
 	ReinsertFraction float64
 }
 
+// Validate checks the options for structural mistakes without consulting a
+// database: an unknown engine kind, negative tuning knobs, or X-tree
+// parameters outside their domains. It accepts every zero or sentinel value
+// that Open would default (PageCapacity 0, BufferPages <= 0, nil Metric,
+// empty Engine), so Validate(withDefaults(...)) is stable. Command-line
+// front ends call it to reject flag mistakes before any data is loaded.
+func (o Options) Validate() error {
+	switch o.Engine {
+	case EngineScan, EngineXTree, EngineVAFile, "":
+	default:
+		return fmt.Errorf("metricdb: unknown engine %q", o.Engine)
+	}
+	if o.PageCapacity < 0 {
+		return fmt.Errorf("metricdb: page capacity must be >= 0 (0 derives from 32 KB blocks), got %d", o.PageCapacity)
+	}
+	if o.Concurrency < 0 {
+		return fmt.Errorf("metricdb: concurrency must be >= 0, got %d", o.Concurrency)
+	}
+	if o.VAFileBits < 0 {
+		return fmt.Errorf("metricdb: VA-file bits must be >= 0 (0 selects the default), got %d", o.VAFileBits)
+	}
+	if x := o.XTree; x != nil {
+		if x.DirFanout < 0 {
+			return fmt.Errorf("metricdb: X-tree directory fanout must be >= 0, got %d", x.DirFanout)
+		}
+		if x.MaxOverlap < 0 || x.MaxOverlap > 1 {
+			return fmt.Errorf("metricdb: X-tree max overlap must be in [0, 1], got %g", x.MaxOverlap)
+		}
+		if x.MinFillRatio < 0 || x.MinFillRatio > 0.5 {
+			return fmt.Errorf("metricdb: X-tree min fill ratio must be in [0, 0.5], got %g", x.MinFillRatio)
+		}
+		if x.ReinsertFraction < 0 || x.ReinsertFraction >= 1 {
+			return fmt.Errorf("metricdb: X-tree reinsert fraction must be in [0, 1), got %g", x.ReinsertFraction)
+		}
+	}
+	return nil
+}
+
+// withDefaults resolves the zero and sentinel values of validated options
+// against a concrete database shape: nil Metric becomes Euclidean,
+// PageCapacity 0 derives from a 32 KB block at the data's dimensionality,
+// and the BufferPages sentinel (0 = the paper's 10 % default, negative =
+// unbuffered) is resolved into the returned concrete page count. The
+// returned options are fully explicit except BufferPages, which keeps its
+// sentinel so the caller's intent remains readable from DB.Options-style
+// introspection.
+func (o Options) withDefaults(dim, nItems int) (Options, int) {
+	if o.Metric == nil {
+		o.Metric = Euclidean()
+	}
+	if o.Engine == "" {
+		o.Engine = EngineScan
+	}
+	if o.PageCapacity == 0 {
+		o.PageCapacity = store.PageCapacityForBlockSize(32768, dim)
+	}
+	bufferPages := o.BufferPages
+	switch {
+	case bufferPages == 0:
+		bufferPages = store.DefaultBufferPages((nItems + o.PageCapacity - 1) / o.PageCapacity)
+	case bufferPages < 0:
+		bufferPages = 0
+	}
+	return o, bufferPages
+}
+
 // DB is a metric database ready to answer similarity queries. A DB is safe
 // for concurrent single queries; batches (sessions) are single-goroutine.
 type DB struct {
@@ -90,27 +157,20 @@ type DB struct {
 }
 
 // Open builds a database over items. Items must be numbered 0..n-1 (see
-// NewItems) and dimensionally consistent; they are not copied.
+// NewItems) and dimensionally consistent; they are not copied. Options are
+// checked with Options.Validate and defaulted with the documented sentinel
+// rules before the engine is built.
 func Open(items []Item, opts Options) (*DB, error) {
 	dim, err := validateItems(items)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Metric == nil {
-		opts.Metric = Euclidean()
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.PageCapacity == 0 {
-		opts.PageCapacity = store.PageCapacityForBlockSize(32768, dim)
-	}
+	opts, bufferPages := opts.withDefaults(dim, len(items))
 	if opts.PageCapacity < 1 {
 		return nil, fmt.Errorf("metricdb: page capacity must be >= 1, got %d", opts.PageCapacity)
-	}
-	bufferPages := opts.BufferPages
-	switch {
-	case bufferPages == 0:
-		bufferPages = store.DefaultBufferPages((len(items) + opts.PageCapacity - 1) / opts.PageCapacity)
-	case bufferPages < 0:
-		bufferPages = 0
 	}
 
 	var eng engine.Engine
@@ -187,7 +247,15 @@ func (db *DB) NumPages() int { return db.eng.NumPages() }
 // Query evaluates a single similarity query (the algorithm of Figure 1)
 // and returns the answers in ascending distance order.
 func (db *DB) Query(q Vector, t QueryType) ([]Answer, Stats, error) {
-	answers, stats, err := db.proc.Single(q, t)
+	return db.QueryContext(context.Background(), q, t)
+}
+
+// QueryContext is Query with cancellation: the page loop checks ctx once
+// per data page and aborts with ctx's error when it is canceled or past its
+// deadline. On the uncanceled path the context costs one check per page and
+// perturbs neither answers nor statistics.
+func (db *DB) QueryContext(ctx context.Context, q Vector, t QueryType) ([]Answer, Stats, error) {
+	answers, stats, err := db.proc.SingleContext(ctx, q, t)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -223,7 +291,14 @@ func (db *DB) NewBatch() *Batch {
 // correct partial results, completed by later calls that list them first.
 // The returned answer slices are aligned with queries.
 func (b *Batch) Query(queries []Query) ([][]Answer, Stats, error) {
-	lists, stats, err := b.session.MultiQuery(queries)
+	return b.QueryContext(context.Background(), queries)
+}
+
+// QueryContext is Query with cancellation: the page loop checks ctx once
+// per data page. An aborted call keeps the partial answers collected so far
+// buffered in the batch, so a later call resumes rather than restarts.
+func (b *Batch) QueryContext(ctx context.Context, queries []Query) ([][]Answer, Stats, error) {
+	lists, stats, err := b.session.MultiQueryContext(ctx, queries)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -237,7 +312,13 @@ func (b *Batch) Query(queries []Query) ([][]Answer, Stats, error) {
 // QueryAll evaluates the whole batch to completion, reusing every page and
 // buffered answer across the queries.
 func (b *Batch) QueryAll(queries []Query) ([][]Answer, Stats, error) {
-	lists, stats, err := b.session.MultiQueryAll(queries)
+	return b.QueryAllContext(context.Background(), queries)
+}
+
+// QueryAllContext is QueryAll with cancellation (see QueryContext for the
+// resume-after-abort semantics).
+func (b *Batch) QueryAllContext(ctx context.Context, queries []Query) ([][]Answer, Stats, error) {
+	lists, stats, err := b.session.MultiQueryAllContext(ctx, queries)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -261,7 +342,50 @@ func (db *DB) Ranking(q Vector) (*Ranking, error) {
 	return db.proc.Ranking(q)
 }
 
+// ProcessorStats is a point-in-time view of the query processor: its active
+// configuration and the cumulative distance-calculation counters since Open
+// (or the last ResetCounters). Unlike the per-call Stats, these counters
+// aggregate over every query, batch, and mining method on the DB.
+type ProcessorStats struct {
+	// Avoidance is the active triangle-inequality mode.
+	Avoidance AvoidanceMode
+	// Concurrency is the effective intra-server pipeline width (>= 1).
+	Concurrency int
+	// DistCalcs counts distance calculations, including ones abandoned
+	// mid-vector by the bounded kernel.
+	DistCalcs int64
+	// PartialAbandoned counts the abandoned subset of DistCalcs.
+	PartialAbandoned int64
+}
+
+// ProcessorStats reports the processor's configuration and cumulative work.
+func (db *DB) ProcessorStats() ProcessorStats {
+	return ProcessorStats{
+		Avoidance:        db.proc.Options().Avoidance,
+		Concurrency:      db.proc.Concurrency(),
+		DistCalcs:        db.proc.Metric().Count(),
+		PartialAbandoned: db.proc.Metric().Abandoned(),
+	}
+}
+
+// WithConcurrency returns a DB sharing this DB's storage, buffer, and
+// counters but answering batches at the given intra-server pipeline width
+// (0 and 1 select the sequential path). It is the tuning facade for serving
+// layers that pin widths per workload; answers are bit-identical at every
+// width.
+func (db *DB) WithConcurrency(n int) *DB {
+	ndb := *db
+	ndb.proc = db.proc.WithConcurrency(n)
+	ndb.opts.Concurrency = ndb.proc.Options().Concurrency
+	return &ndb
+}
+
 // Processor exposes the underlying multiple-similarity-query processor for
-// in-module integrations such as the wire server; most callers should use
-// Query, NewBatch and the mining methods instead.
+// in-module integrations such as the wire server.
+//
+// Deprecated: Processor leaks the internal msq package through the public
+// API, so code outside this module cannot use the returned value. Use
+// Query/QueryContext, NewBatch, ProcessorStats, and WithConcurrency
+// instead; in-module integrations (cmd/msqserver) remain the only
+// sanctioned callers.
 func (db *DB) Processor() *msq.Processor { return db.proc }

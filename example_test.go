@@ -1,8 +1,10 @@
 package metricdb_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"metricdb"
 )
@@ -122,4 +124,26 @@ func ExampleNewMTree() {
 	// Output:
 	// karolin (distance 0)
 	// kathrin (distance 3)
+}
+
+// ExampleDB_QueryContext bounds a similarity query with a timeout. The
+// page loop checks the context once per data page, so a deadline or a
+// cancellation aborts the query cleanly without affecting the database.
+func ExampleDB_QueryContext() {
+	db, err := metricdb.Open(grid(100), metricdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	answers, _, err := db.QueryContext(ctx, metricdb.Vector{42.4, 0}, metricdb.KNNQuery(2))
+	if err != nil {
+		log.Fatal(err) // context.DeadlineExceeded once the budget is spent
+	}
+	for _, a := range answers {
+		fmt.Printf("item %d at distance %.1f\n", a.ID, a.Dist)
+	}
+	// Output:
+	// item 42 at distance 0.4
+	// item 43 at distance 0.6
 }

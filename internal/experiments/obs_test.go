@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"metricdb/internal/obs"
+)
+
+func TestRunObs(t *testing.T) {
+	widths := []int{1, 2}
+	profile, err := RunObs(tinyWorkload(t), widths, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(widths); len(profile.Results) != want { // scan + xtree
+		t.Fatalf("got %d results, want %d", len(profile.Results), want)
+	}
+	for _, r := range profile.Results {
+		if !r.Identical {
+			t.Errorf("%s width %d: traced run diverged from untraced reference", r.Engine, r.Width)
+		}
+		if r.DistCalcs == 0 || r.PagesRead == 0 {
+			t.Errorf("%s width %d: empty counters %+v", r.Engine, r.Width, r)
+		}
+		phases := map[string]ObsPhase{}
+		for _, ph := range r.Phases {
+			phases[ph.Phase] = ph
+			if ph.Count <= 0 || ph.TotalNs < 0 {
+				t.Errorf("%s width %d: degenerate phase %+v", r.Engine, r.Width, ph)
+			}
+		}
+		for _, want := range []string{
+			obs.PhaseKernel.String(), obs.PhasePageWait.String(), obs.PhaseMatrix.String(),
+		} {
+			if _, ok := phases[want]; !ok {
+				t.Errorf("%s width %d: phase %q missing", r.Engine, r.Width, want)
+			}
+		}
+		if r.Width > 1 {
+			if _, ok := phases[obs.PhaseMerge.String()]; !ok {
+				t.Errorf("%s width %d: pipelined run has no merge phase", r.Engine, r.Width)
+			}
+		}
+	}
+
+	fig := profile.Figure()
+	if len(fig.Series) != 2 {
+		t.Errorf("figure has %d series, want 2", len(fig.Series))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteObsJSON(&buf, []*ObsProfile{profile}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []ObsProfile
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 || len(decoded[0].Results) != len(profile.Results) {
+		t.Error("artifact round-trip lost results")
+	}
+}

@@ -1,10 +1,13 @@
 package msq
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
+	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/store"
 )
@@ -102,8 +105,22 @@ func (s *Session) state(q Query) (*queryState, error) {
 // The returned answer lists are aligned with queries and owned by the
 // session: they remain live and may grow in subsequent calls.
 func (s *Session) MultiQuery(queries []Query) ([]*query.AnswerList, Stats, error) {
+	return s.MultiQueryContext(context.Background(), queries)
+}
+
+// MultiQueryContext is MultiQuery with cancellation: the page loop checks
+// ctx once per page and aborts with ctx's error when it is canceled or past
+// its deadline. Buffered partial answers collected before the abort stay in
+// the session and are reused by later calls.
+func (s *Session) MultiQueryContext(ctx context.Context, queries []Query) ([]*query.AnswerList, Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	tr := s.proc.tracer
+	traced := tr.Enabled()
+	var begin time.Time
+	if traced {
+		begin = time.Now()
+	}
 	states, results, err := s.prepare(queries)
 	if err != nil {
 		return nil, Stats{}, err
@@ -111,6 +128,9 @@ func (s *Session) MultiQuery(queries []Query) ([]*query.AnswerList, Stats, error
 	if states[0].done {
 		// The first query was completed by an earlier call; its answers
 		// come straight from the buffer.
+		if traced {
+			tr.RecordQuery("multi", len(queries), time.Since(begin), 0, 0, 0)
+		}
 		return results, Stats{}, nil
 	}
 
@@ -120,12 +140,17 @@ func (s *Session) MultiQuery(queries []Query) ([]*query.AnswerList, Stats, error
 	// Inter-query distance matrix for the avoidance lemmas. Computing it
 	// costs m(m-1)/2 distance calculations — the initialization overhead
 	// that is quadratic in m (§5.2, §6.4).
+	sp := tr.Start(obs.PhaseMatrix)
 	matrix := s.queryDistMatrix(queries, &stats)
+	sp.End()
 	pos := identityPositions(len(states))
 
-	err = s.run(states, matrix, pos, &stats)
+	err = s.run(ctx, states, matrix, pos, &stats)
 	stats.Queries = 1
 	acct.finish(&stats)
+	if traced {
+		tr.RecordQuery("multi", len(queries), time.Since(begin), stats.PagesRead, stats.DistCalcs, stats.Avoided)
+	}
 	if err != nil {
 		return nil, stats, err
 	}
@@ -198,8 +223,10 @@ func identityPositions(n int) []int {
 // and opportunistically collects partial answers for the rest. matrix is
 // indexed by the global positions in pos (pos[i] is the matrix row of
 // states[i]), so MultiQueryAll can share one matrix across all its passes.
-func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats *Stats) error {
+func (s *Session) run(ctx context.Context, states []*queryState, matrix [][]float64, pos []int, stats *Stats) error {
 	first := states[0]
+	tr := s.proc.tracer
+	traced := tr.Enabled()
 
 	// Bootstrap: a k-NN query that has no answers yet cannot exclude any
 	// page (its query distance is infinite), so sharing Q1's pages with
@@ -219,10 +246,12 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 	// determine_relevant_data_pages: the plan covers (at least) every
 	// page relevant for Q1, in optimal order. Buffered partial answers
 	// and the a-priori bound give Q1 a head start on its query distance.
+	sp := tr.Start(obs.PhasePlan)
 	plan := s.proc.eng.Plan(first.q.Vec, first.queryDist())
+	sp.End()
 
 	if width := s.proc.Concurrency(); width > 1 {
-		if err := s.runPipeline(plan, states, matrix, pos, stats, width); err != nil {
+		if err := s.runPipeline(ctx, plan, states, matrix, pos, stats, width); err != nil {
 			return err
 		}
 		first.done = true
@@ -239,6 +268,9 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 	raiseScratch := make([]float64, len(states))
 
 	for _, ref := range plan {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("msq: multiple query: %w", err)
+		}
 		if ref.MinDist > first.queryDist() {
 			break // prune_pages for Q1; later refs are even farther
 		}
@@ -248,7 +280,14 @@ func (s *Session) run(states []*queryState, matrix [][]float64, pos []int, stats
 
 		active, activePos = s.decideActive(ref.ID, states, pos, active, activePos)
 
+		var waitStart time.Time
+		if traced {
+			waitStart = time.Now()
+		}
 		page, err := s.proc.eng.ReadPage(ref.ID)
+		if traced {
+			tr.ObserveSince(obs.PhasePageWait, waitStart)
+		}
 		if err != nil {
 			return fmt.Errorf("msq: multiple query: %w", err)
 		}
@@ -446,7 +485,17 @@ type knownDist struct {
 // Distance calculations bypass the Counting wrapper: the loop calls the raw
 // kernel and settles the calc/abandon counts in one AddCalls batch per
 // page, trading two atomic updates per evaluation for two per page.
+//
+// When a tracer is enabled the page is evaluated by processPageTraced — a
+// verbatim copy of this loop plus per-pair clock reads — so the untraced
+// hot path carries no per-pair branches at all. The two loops must stay in
+// lockstep; the traced differential test pins that their answers and
+// avoidance counters are identical.
 func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+	if tr := s.proc.tracer; tr.Enabled() {
+		s.processPageTraced(tr, page, active, activeIdx, matrix, stats, known, qds, raiseScratch)
+		return
+	}
 	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
 	kernel := s.proc.metric.Kernel()
 	var calcs, abandoned int64
@@ -511,6 +560,77 @@ func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx 
 		}
 	}
 	s.proc.metric.AddCalls(calcs, abandoned)
+}
+
+// processPageTraced is processPage with tracing enabled: the same loop,
+// plus clock reads that split the page's evaluation time into the avoidance
+// phase (triangle-inequality probes and abandonment-limit bookkeeping) and
+// the kernel phase (everything else: bounded distance evaluations and
+// answer-list updates). Timing is observation-only — every avoidance
+// decision, kernel limit, and Consider call is byte-for-byte the decision
+// the untraced loop makes, so answers and the DistCalcs/Avoided/AvoidTries
+// counters cannot differ. Keep this body in lockstep with processPage.
+func (s *Session) processPageTraced(tr *obs.Tracer, page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+	pageStart := time.Now()
+	var avoidNs time.Duration
+	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
+	kernel := s.proc.metric.Kernel()
+	var calcs, abandoned int64
+	qds = qds[:len(active)]
+	for i, st := range active {
+		qds[i] = st.queryDist()
+	}
+	var raise []float64
+	if avoiding {
+		raise = lemma1Raises(activeIdx, matrix, qds, raiseScratch)
+	}
+	for it := range page.Items {
+		item := &page.Items[it]
+		known = known[:0]
+		for a, st := range active {
+			pos := activeIdx[a]
+			qd := qds[a]
+			limit := qd
+			if avoiding {
+				t0 := time.Now()
+				if s.avoidable(qd, pos, known, matrix, &stats.AvoidTries) {
+					stats.Avoided++
+					avoidNs += time.Since(t0)
+					continue
+				}
+				limit = abandonLimit(qd, raise[a], len(known))
+				avoidNs += time.Since(t0)
+			}
+			d, within := kernel.DistanceWithin(st.q.Vec, item.Vec, limit)
+			calcs++
+			if avoiding {
+				known = append(known, knownDist{d: d, idx: int32(pos)})
+			}
+			if within {
+				if st.answers.Consider(item.ID, d) {
+					wasInf := math.IsInf(qd, 1)
+					qds[a] = st.queryDist()
+					if avoiding && wasInf && !math.IsInf(qds[a], 1) {
+						row := matrix[pos]
+						for j, p := range activeIdx {
+							if t := row[p] + qds[a]; t > raise[j] {
+								raise[j] = t
+							}
+						}
+					}
+				}
+			} else {
+				abandoned++
+			}
+		}
+	}
+	s.proc.metric.AddCalls(calcs, abandoned)
+	tr.Observe(obs.PhaseAvoid, avoidNs)
+	if kernelDur := time.Since(pageStart) - avoidNs; kernelDur > 0 {
+		tr.Observe(obs.PhaseKernel, kernelDur)
+	} else {
+		tr.Observe(obs.PhaseKernel, 0)
+	}
 }
 
 // maxAvoidProbes caps how many known distances one avoidance decision
@@ -618,8 +738,22 @@ func lemma1Raises(activeIdx []int, matrix [][]float64, qds []float64, scratch []
 // MultiQuery on each suffix instead would rebuild an O(m²) matrix per
 // suffix — cubic in m overall).
 func (s *Session) MultiQueryAll(queries []Query) ([]*query.AnswerList, Stats, error) {
+	return s.MultiQueryAllContext(context.Background(), queries)
+}
+
+// MultiQueryAllContext is MultiQueryAll with cancellation: every pass's page
+// loop checks ctx once per page and aborts with ctx's error when it is
+// canceled or past its deadline. Answers completed (or partially collected)
+// before the abort stay buffered in the session.
+func (s *Session) MultiQueryAllContext(ctx context.Context, queries []Query) ([]*query.AnswerList, Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	tr := s.proc.tracer
+	traced := tr.Enabled()
+	var begin time.Time
+	if traced {
+		begin = time.Now()
+	}
 	states, results, err := s.prepare(queries)
 	if err != nil {
 		return nil, Stats{}, err
@@ -627,20 +761,29 @@ func (s *Session) MultiQueryAll(queries []Query) ([]*query.AnswerList, Stats, er
 
 	var stats Stats
 	acct := s.beginAccounting()
+	sp := tr.Start(obs.PhaseMatrix)
 	matrix := s.queryDistMatrix(queries, &stats)
+	sp.End()
 	pos := identityPositions(len(states))
 
+	record := func() {
+		if traced {
+			tr.RecordQuery("multi_all", len(queries), time.Since(begin), stats.PagesRead, stats.DistCalcs, stats.Avoided)
+		}
+	}
 	for i := range states {
 		if states[i].done {
 			continue
 		}
-		if err := s.run(states[i:], matrix, pos[i:], &stats); err != nil {
+		if err := s.run(ctx, states[i:], matrix, pos[i:], &stats); err != nil {
 			acct.finish(&stats)
+			record()
 			return nil, stats, err
 		}
 		stats.Queries++
 	}
 	acct.finish(&stats)
+	record()
 	return results, stats, nil
 }
 
@@ -649,4 +792,10 @@ func (s *Session) MultiQueryAll(queries []Query) ([]*query.AnswerList, Stats, er
 // query.
 func (p *Processor) MultiQuery(queries []Query) ([]*query.AnswerList, Stats, error) {
 	return p.NewSession().MultiQueryAll(queries)
+}
+
+// MultiQueryContext is MultiQuery with cancellation, running a fresh session
+// to completion under ctx.
+func (p *Processor) MultiQueryContext(ctx context.Context, queries []Query) ([]*query.AnswerList, Stats, error) {
+	return p.NewSession().MultiQueryAllContext(ctx, queries)
 }

@@ -1,12 +1,15 @@
 package msq
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metricdb/internal/engine"
+	"metricdb/internal/obs"
 	"metricdb/internal/store"
 )
 
@@ -167,8 +170,12 @@ func (s *Session) prefetch(plan []engine.PageRef, prefetchable []bool, out chan<
 
 // runPipeline is the concurrent counterpart of run()'s page loop. width is
 // the pipeline width (>= 2): the worker-pool size and the prefetch lookahead.
-func (s *Session) runPipeline(plan []engine.PageRef, states []*queryState, matrix [][]float64, pos []int, stats *Stats, width int) error {
+// The coordinator checks ctx once per page barrier; on cancellation the
+// deferred done close aborts the prefetcher before the error returns.
+func (s *Session) runPipeline(ctx context.Context, plan []engine.PageRef, states []*queryState, matrix [][]float64, pos []int, stats *Stats, width int) error {
 	first := states[0]
+	tr := s.proc.tracer
+	traced := tr.Enabled()
 
 	// Decide, from static state only, which plan references the prefetcher
 	// may read ahead of the coordinator. first.processed is snapshotted via
@@ -197,7 +204,14 @@ func (s *Session) runPipeline(plan []engine.PageRef, states []*queryState, matri
 	scratch := newPageScratch(width, len(states))
 
 	for i, ref := range plan {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("msq: multiple query: %w", err)
+		}
 		var page *store.Page
+		var waitStart time.Time
+		if traced {
+			waitStart = time.Now()
+		}
 		if prefetchable[i] {
 			// The read condition of a prefetchable page cannot be
 			// invalidated (MinDist <= floor <= queryDist at all times), so
@@ -206,6 +220,9 @@ func (s *Session) runPipeline(plan []engine.PageRef, states []*queryState, matri
 			f, ok := <-out
 			if !ok || f.idx != i {
 				return fmt.Errorf("msq: pipeline prefetcher desynchronized at plan index %d", i)
+			}
+			if traced {
+				tr.ObserveSince(obs.PhasePageWait, waitStart)
 			}
 			if f.err != nil {
 				return fmt.Errorf("msq: multiple query: %w", f.err)
@@ -222,6 +239,9 @@ func (s *Session) runPipeline(plan []engine.PageRef, states []*queryState, matri
 			var err error
 			page, err = s.proc.eng.ReadPage(ref.ID)
 			resume <- struct{}{} // read issued; prefetcher may run ahead again
+			if traced {
+				tr.ObserveSince(obs.PhasePageWait, waitStart)
+			}
 			if err != nil {
 				return fmt.Errorf("msq: multiple query: %w", err)
 			}
@@ -307,10 +327,61 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 		raise = lemma1Raises(activeIdx, matrix, snap, scratch.raise)
 	}
 	kernel := s.proc.metric.Kernel()
+	tr := s.proc.tracer
+	traced := tr.Enabled()
 	var tries, avoided atomic.Int64
 	pool.forEachChunk(nItems, width, func(worker, lo, hi int) {
 		known := scratch.known[worker][:0]
 		var localTries, localAvoided, localCalcs, localAbandoned int64
+		if traced {
+			// Traced twin of the loop below: the same snapshot-pure
+			// decisions, plus clock reads that split the chunk's wall time
+			// into the avoidance and kernel phases. Keep in lockstep with
+			// the untraced loop — the traced differential test pins that
+			// answers and counters are identical.
+			chunkStart := time.Now()
+			var avoidNs time.Duration
+			for it := lo; it < hi; it++ {
+				item := &page.Items[it]
+				row := dists[it*nActive : (it+1)*nActive]
+				known = known[:0]
+				for a := range active {
+					limit := snap[a]
+					if avoiding {
+						t0 := time.Now()
+						if s.avoidable(snap[a], activeIdx[a], known, matrix, &localTries) {
+							localAvoided++
+							row[a] = skippedDist
+							avoidNs += time.Since(t0)
+							continue
+						}
+						limit = abandonLimit(snap[a], raise[a], len(known))
+						avoidNs += time.Since(t0)
+					}
+					d, within := kernel.DistanceWithin(active[a].q.Vec, item.Vec, limit)
+					localCalcs++
+					if avoiding {
+						known = append(known, knownDist{d: d, idx: int32(activeIdx[a])})
+					}
+					if within {
+						row[a] = d
+					} else {
+						row[a] = skippedDist
+						localAbandoned++
+					}
+				}
+			}
+			s.proc.metric.AddCalls(localCalcs, localAbandoned)
+			tries.Add(localTries)
+			avoided.Add(localAvoided)
+			tr.Observe(obs.PhaseAvoid, avoidNs)
+			if d := time.Since(chunkStart) - avoidNs; d > 0 {
+				tr.Observe(obs.PhaseKernel, d)
+			} else {
+				tr.Observe(obs.PhaseKernel, 0)
+			}
+			return
+		}
 		for it := lo; it < hi; it++ {
 			item := &page.Items[it]
 			row := dists[it*nActive : (it+1)*nActive]
@@ -346,6 +417,10 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	stats.Avoided += avoided.Load()
 
 	pool.forEachChunk(nActive, width, func(_, lo, hi int) {
+		var mergeStart time.Time
+		if traced {
+			mergeStart = time.Now()
+		}
 		for a := lo; a < hi; a++ {
 			st := active[a]
 			st.mu.Lock()
@@ -355,6 +430,9 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 				}
 			}
 			st.mu.Unlock()
+		}
+		if traced {
+			tr.ObserveSince(obs.PhaseMerge, mergeStart)
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"metricdb/internal/engine"
+	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/vec"
 )
@@ -83,6 +84,13 @@ type Processor struct {
 	eng    engine.Engine
 	metric *vec.Counting
 	opts   Options
+	// tracer, when non-nil, receives per-phase spans and slow-query records
+	// for every query this processor evaluates. Instrumented loops hoist one
+	// enabled test per page, so a nil tracer costs a predictable branch —
+	// see the overhead gate in internal/obs. Tracing is observation-only:
+	// answers and the DistCalcs/Avoided/AvoidTries counters are identical
+	// with and without a tracer (pinned by the traced differential test).
+	tracer *obs.Tracer
 }
 
 // New creates a processor over eng using metric m. The metric is wrapped in
@@ -132,5 +140,18 @@ func (p *Processor) WithConcurrency(n int) *Processor {
 	}
 	opts := p.opts
 	opts.Concurrency = n
-	return &Processor{eng: p.eng, metric: p.metric, opts: opts}
+	return &Processor{eng: p.eng, metric: p.metric, opts: opts, tracer: p.tracer}
+}
+
+// Tracer returns the tracer this processor reports to, or nil.
+func (p *Processor) Tracer() *obs.Tracer { return p.tracer }
+
+// WithTracer returns a processor sharing this processor's engine and
+// counting metric but reporting phase spans and slow queries to tr (nil
+// disables tracing). As a side effect it installs tr on the shared engine's
+// pager, so page_fetch spans from the same engine — including those issued
+// through other processors over it — are attributed to tr.
+func (p *Processor) WithTracer(tr *obs.Tracer) *Processor {
+	p.eng.Pager().SetTracer(tr)
+	return &Processor{eng: p.eng, metric: p.metric, opts: p.opts, tracer: tr}
 }

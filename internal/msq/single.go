@@ -1,8 +1,11 @@
 package msq
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/vec"
 )
@@ -14,11 +17,26 @@ import (
 // tightens as answers arrive (adapt_query_dist), pruning the remaining plan
 // (prune_pages).
 func (p *Processor) Single(q vec.Vector, t query.Type) (*query.AnswerList, Stats, error) {
+	return p.SingleContext(context.Background(), q, t)
+}
+
+// SingleContext is Single with cancellation: the page loop checks ctx once
+// per page and aborts with ctx's error when it is canceled or past its
+// deadline. The check is observation-free — on the uncanceled path it
+// perturbs no answers and no statistics counters.
+func (p *Processor) SingleContext(ctx context.Context, q vec.Vector, t query.Type) (*query.AnswerList, Stats, error) {
 	if err := t.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	if len(q) == 0 {
 		return nil, Stats{}, fmt.Errorf("msq: empty query vector")
+	}
+
+	tr := p.tracer
+	traced := tr.Enabled()
+	var begin time.Time
+	if traced {
+		begin = time.Now()
 	}
 
 	answers := query.NewAnswerList(t)
@@ -27,19 +45,35 @@ func (p *Processor) Single(q vec.Vector, t query.Type) (*query.AnswerList, Stats
 	abandonBefore := p.metric.Abandoned()
 	stats := Stats{Queries: 1}
 
+	sp := tr.Start(obs.PhasePlan)
 	plan := p.eng.Plan(q, t.InitialQueryDist())
+	sp.End()
 	for _, ref := range plan {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("msq: single query: %w", err)
+		}
 		// prune_pages: the plan is ordered by ascending lower bound for
 		// index engines (all zero for a scan), so the first reference
 		// beyond the query distance ends the search.
 		if ref.MinDist > answers.QueryDist() {
 			break
 		}
+		var waitStart time.Time
+		if traced {
+			waitStart = time.Now()
+		}
 		page, err := p.eng.ReadPage(ref.ID)
+		if traced {
+			tr.ObserveSince(obs.PhasePageWait, waitStart)
+		}
 		if err != nil {
 			return nil, stats, fmt.Errorf("msq: single query: %w", err)
 		}
 		stats.PageVisits++
+		var evalStart time.Time
+		if traced {
+			evalStart = time.Now()
+		}
 		for i := range page.Items {
 			// The live pruning distance doubles as the bounded kernel's
 			// abandonment limit: an abandoned item is strictly farther
@@ -50,10 +84,16 @@ func (p *Processor) Single(q vec.Vector, t query.Type) (*query.AnswerList, Stats
 				answers.Consider(page.Items[i].ID, d)
 			}
 		}
+		if traced {
+			tr.ObserveSince(obs.PhaseKernel, evalStart)
+		}
 	}
 
 	stats.PagesRead = p.eng.Pager().Disk().Stats().Reads - ioBefore.Reads
 	stats.DistCalcs = p.metric.Count() - distBefore
 	stats.PartialAbandoned = p.metric.Abandoned() - abandonBefore
+	if traced {
+		tr.RecordQuery("single", 1, time.Since(begin), stats.PagesRead, stats.DistCalcs, stats.Avoided)
+	}
 	return answers, stats, nil
 }

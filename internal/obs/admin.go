@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler serves the observability endpoints of one registry:
+//
+//	/metrics        Prometheus text exposition (phase histograms, gauges)
+//	/debug/traces   retained phase spans as JSONL, oldest first
+//	/debug/slow     slow-query log as JSON, oldest first
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The handler is read-only and safe to serve concurrently with query
+// processing; it is intended for a loopback or otherwise trusted admin
+// listener (cmd/msqserver's -admin flag), not for the query port.
+func AdminHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // best effort on a live conn
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		r.Tracer().WriteTraces(w) //nolint:errcheck // best effort on a live conn
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		records := r.Tracer().SlowQueries()
+		if records == nil {
+			records = []SlowQuery{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(records) //nolint:errcheck // best effort on a live conn
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that the race detector is compiled in; the overhead
+// gate skips then, because instrumentation skews its timing comparison.
+const raceEnabled = true

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one retained slow-query record: a query-processing call
+// whose wall-clock duration reached the tracer's threshold, together with
+// the cost counters of that call (its own Stats deltas, in the paper's
+// units).
+type SlowQuery struct {
+	// Time is when the call finished.
+	Time time.Time `json:"time"`
+	// Op names the entry point: "single", "multi", "multi_all".
+	Op string `json:"op"`
+	// Queries is the batch size m of the call.
+	Queries int `json:"queries"`
+	// Duration is the call's wall-clock time.
+	Duration time.Duration `json:"duration_ns"`
+	// PagesRead, DistCalcs and Avoided are the call's own cost deltas.
+	PagesRead int64 `json:"pages_read"`
+	DistCalcs int64 `json:"dist_calcs"`
+	Avoided   int64 `json:"avoided"`
+}
+
+// SlowLog is a bounded ring of slow-query records. Oldest records are
+// overwritten once the ring is full.
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	ring      []SlowQuery
+	next      int
+	total     int64
+}
+
+func newSlowLog(threshold time.Duration, size int) *SlowLog {
+	if size < 1 {
+		size = 1
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowQuery, 0, size)}
+}
+
+func (l *SlowLog) record(op string, m int, d time.Duration, pagesRead, distCalcs, avoided int64) {
+	if d < l.threshold {
+		return
+	}
+	rec := SlowQuery{
+		Time: time.Now(), Op: op, Queries: m, Duration: d,
+		PagesRead: pagesRead, DistCalcs: distCalcs, Avoided: avoided,
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, rec)
+		l.next = len(l.ring) % cap(l.ring)
+		return
+	}
+	l.ring[l.next] = rec
+	l.next = (l.next + 1) % len(l.ring)
+}
+
+// entries returns the retained records, oldest first.
+func (l *SlowLog) entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		return append(out, l.ring...)
+	}
+	out = append(out, l.ring[l.next:]...)
+	return append(out, l.ring[:l.next]...)
+}
+
+// Total returns how many slow queries were recorded (including overwritten
+// ones).
+func (l *SlowLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// SlowQueriesTotal returns the lifetime slow-query count (0 on nil tracers
+// or disabled logs), the counter behind metricdb_slow_queries_total.
+func (t *Tracer) SlowQueriesTotal() int64 {
+	if t == nil || t.slow == nil {
+		return 0
+	}
+	return t.slow.Total()
+}

@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -21,6 +22,7 @@ import (
 
 	"metricdb/internal/engine"
 	"metricdb/internal/msq"
+	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/scan"
 	"metricdb/internal/store"
@@ -157,6 +159,11 @@ type Config struct {
 	// Degrade false any server failure fails the whole operation, the
 	// pre-existing strict behavior.
 	Degrade bool
+
+	// Tracer, when non-nil, is installed on every server's processor and
+	// pager, and additionally receives one server_call span per server
+	// attempt from the cluster fan-out. Nil disables tracing at no cost.
+	Tracer *obs.Tracer
 }
 
 // server is one shared-nothing node.
@@ -235,6 +242,9 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parallel: server %d: %w", i, err)
 		}
+		if cfg.Tracer != nil {
+			proc = proc.WithTracer(cfg.Tracer)
+		}
 		c.servers[i] = &server{proc: proc, eng: eng}
 	}
 	return c, nil
@@ -252,6 +262,10 @@ type ServerHealth struct {
 	Attempts int
 	// Err holds the final failure, empty on success.
 	Err string
+	// Latency is the wall time of the server's final attempt — the
+	// successful one, or the last failed one. Retried attempts' backoff
+	// waits are not included.
+	Latency time.Duration
 }
 
 // ServerStats is the per-server cost and health of one cluster operation.
@@ -349,6 +363,15 @@ func (r Report) MaxDistCalcs() int64 {
 // fault-free result. Without Degrade any persistent server failure fails
 // the whole operation.
 func (c *Cluster) MultiQueryAll(queries []msq.Query) ([]*query.AnswerList, Report, error) {
+	return c.MultiQueryAllContext(context.Background(), queries)
+}
+
+// MultiQueryAllContext is MultiQueryAll with cancellation: ctx bounds the
+// whole cluster operation. Cancellation aborts every server's page loop,
+// interrupts retry backoff waits, and suppresses further retries; the
+// operation then fails (or degrades, under Config.Degrade with surviving
+// servers) with the context error recorded per server.
+func (c *Cluster) MultiQueryAllContext(ctx context.Context, queries []msq.Query) ([]*query.AnswerList, Report, error) {
 	report := Report{PerServer: make([]ServerStats, len(c.servers)), Servers: len(c.servers)}
 	perServer := make([][]*query.AnswerList, len(c.servers))
 	errs := make([]error, len(c.servers))
@@ -361,22 +384,38 @@ func (c *Cluster) MultiQueryAll(queries []msq.Query) ([]*query.AnswerList, Repor
 			attempts := 0
 			backoff := c.cfg.Backoff
 			var lastErr error
+			var lastLatency time.Duration
 			for try := 0; try <= c.cfg.Retries; try++ {
-				if try > 0 && backoff > 0 {
-					time.Sleep(backoff)
-					backoff *= 2
+				if try > 0 {
+					if backoff > 0 {
+						select {
+						case <-time.After(backoff):
+						case <-ctx.Done():
+						}
+						backoff *= 2
+					}
+					if err := ctx.Err(); err != nil {
+						lastErr = err
+						break
+					}
 				}
 				attempts++
-				res, st, err := c.callServer(srv, queries)
+				start := time.Now()
+				res, st, err := c.callServer(ctx, srv, queries)
+				lastLatency = time.Since(start)
+				c.cfg.Tracer.Observe(obs.PhaseServerCall, lastLatency)
 				if err == nil {
 					perServer[i] = res
-					st.Health = ServerHealth{OK: true, Attempts: attempts}
+					st.Health = ServerHealth{OK: true, Attempts: attempts, Latency: lastLatency}
 					report.PerServer[i] = st
 					return
 				}
 				lastErr = err
+				if ctx.Err() != nil {
+					break // canceled: further retries cannot succeed
+				}
 			}
-			report.PerServer[i].Health = ServerHealth{Attempts: attempts, Err: lastErr.Error()}
+			report.PerServer[i].Health = ServerHealth{Attempts: attempts, Err: lastErr.Error(), Latency: lastLatency}
 			errs[i] = lastErr
 		}(i, srv)
 	}
@@ -415,19 +454,21 @@ func (c *Cluster) MultiQueryAll(queries []msq.Query) ([]*query.AnswerList, Repor
 }
 
 // callServer runs one batch on one server, optionally bounded by the
-// configured timeout. Engines are not cancellable, so a timed-out attempt
-// is abandoned: its goroutine finishes in the background (its I/O still
-// shows up in the server's cumulative disk statistics) and its result is
-// discarded.
-func (c *Cluster) callServer(srv *server, queries []msq.Query) ([]*query.AnswerList, ServerStats, error) {
+// configured timeout. The query processor checks its context once per page,
+// but a single page read may stall indefinitely (a hung simulated disk), so
+// the timeout still races a timer against the attempt: on expiry the attempt
+// is abandoned — its goroutine aborts at its next page barrier via the
+// canceled attempt context, any I/O it issued still shows up in the server's
+// cumulative disk statistics, and its result is discarded.
+func (c *Cluster) callServer(ctx context.Context, srv *server, queries []msq.Query) ([]*query.AnswerList, ServerStats, error) {
 	type outcome struct {
 		res []*query.AnswerList
 		st  ServerStats
 		err error
 	}
-	run := func() outcome {
+	run := func(ctx context.Context) outcome {
 		ioBefore := srv.eng.Pager().Disk().Stats()
-		res, st, err := srv.proc.MultiQuery(queries)
+		res, st, err := srv.proc.MultiQueryContext(ctx, queries)
 		io := diffIO(srv.eng.Pager().Disk().Stats(), ioBefore)
 		if err != nil {
 			return outcome{err: err}
@@ -435,17 +476,20 @@ func (c *Cluster) callServer(srv *server, queries []msq.Query) ([]*query.AnswerL
 		return outcome{res: res, st: ServerStats{Query: st, IO: io}}
 	}
 	if c.cfg.Timeout <= 0 {
-		o := run()
+		o := run(ctx)
 		return o.res, o.st, o.err
 	}
+	attemptCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	ch := make(chan outcome, 1)
-	go func() { ch <- run() }()
+	go func() { ch <- run(attemptCtx) }()
 	timer := time.NewTimer(c.cfg.Timeout)
 	defer timer.Stop()
 	select {
 	case o := <-ch:
 		return o.res, o.st, o.err
 	case <-timer.C:
+		cancel() // let the abandoned attempt stop at its next page barrier
 		return nil, ServerStats{}, fmt.Errorf("parallel: server timed out after %v", c.cfg.Timeout)
 	}
 }
@@ -453,7 +497,12 @@ func (c *Cluster) callServer(srv *server, queries []msq.Query) ([]*query.AnswerL
 // Single evaluates one similarity query on all servers and merges the
 // results.
 func (c *Cluster) Single(q vec.Vector, t query.Type) (*query.AnswerList, Report, error) {
-	res, rep, err := c.MultiQueryAll([]msq.Query{{ID: 0, Vec: q, Type: t}})
+	return c.SingleContext(context.Background(), q, t)
+}
+
+// SingleContext is Single with cancellation (see MultiQueryAllContext).
+func (c *Cluster) SingleContext(ctx context.Context, q vec.Vector, t query.Type) (*query.AnswerList, Report, error) {
+	res, rep, err := c.MultiQueryAllContext(ctx, []msq.Query{{ID: 0, Vec: q, Type: t}})
 	if err != nil {
 		return nil, rep, err
 	}

@@ -3,6 +3,10 @@ package store
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"metricdb/internal/obs"
 )
 
 // Pager reads pages through an LRU buffer: a buffer hit costs no disk I/O,
@@ -25,6 +29,12 @@ type Pager struct {
 
 	mu       sync.Mutex
 	inflight map[PageID]*flight
+
+	// tracer, when set, receives a page_fetch span for every disk read the
+	// pager issues (buffer hits and singleflight waiters observe nothing).
+	// Held in an atomic pointer so SetTracer is safe against concurrent
+	// readers; a nil tracer costs one predictable branch per miss.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // flight is one in-progress disk read awaited by one or more callers.
@@ -65,7 +75,16 @@ func (p *Pager) ReadPage(pid PageID) (*Page, error) {
 	p.inflight[pid] = f
 	p.mu.Unlock()
 
+	tr := p.tracer.Load()
+	traced := tr.Enabled()
+	var fetchStart time.Time
+	if traced {
+		fetchStart = time.Now()
+	}
 	page, err := p.disk.Read(pid)
+	if traced {
+		tr.ObserveSince(obs.PhasePageFetch, fetchStart)
+	}
 	if err == nil && p.buf != nil {
 		// Cache before releasing the waiters, so that by the time any
 		// later ReadPage misses the buffer the page can only have been
@@ -82,6 +101,14 @@ func (p *Pager) ReadPage(pid PageID) (*Page, error) {
 	}
 	return page, nil
 }
+
+// SetTracer installs (or, with nil, removes) the tracer that times the
+// pager's disk reads as page_fetch spans. It may be called at any time,
+// including while reads are in flight.
+func (p *Pager) SetTracer(tr *obs.Tracer) { p.tracer.Store(tr) }
+
+// Tracer returns the installed tracer, or nil.
+func (p *Pager) Tracer() *obs.Tracer { return p.tracer.Load() }
 
 // NumPages returns the number of pages on the underlying disk.
 func (p *Pager) NumPages() int { return p.disk.NumPages() }

@@ -12,15 +12,18 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"metricdb/internal/msq"
+	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/vec"
 )
@@ -172,6 +175,12 @@ type ServerConfig struct {
 	// processor's own setting; 1 pins the sequential path. Answers are
 	// bit-identical at every width.
 	Concurrency int
+	// Tracer, when non-nil, receives wire_decode and wire_encode spans for
+	// every request and response this server handles. It does not replace
+	// the processor's tracer — install that separately with
+	// msq.Processor.WithTracer (typically the same tracer). Nil disables
+	// wire-level tracing at no cost.
+	Tracer *obs.Tracer
 }
 
 // Server serves similarity queries over a metric database. Each accepted
@@ -188,7 +197,35 @@ type Server struct {
 	lis      net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
+
+	// Lifetime counters for metrics exposition: requests handled, error
+	// responses sent (by the taxonomy: client mistakes vs server trouble),
+	// and connections refused before admission (overload / shutdown).
+	requests    atomic.Int64
+	badRequests atomic.Int64
+	engineErrs  atomic.Int64
+	refused     atomic.Int64
 }
+
+// ConnCount returns the number of currently served connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// RequestCount returns the number of requests handled since start.
+func (s *Server) RequestCount() int64 { return s.requests.Load() }
+
+// BadRequestCount returns the number of bad_request error responses sent.
+func (s *Server) BadRequestCount() int64 { return s.badRequests.Load() }
+
+// EngineErrorCount returns the number of engine_error responses sent.
+func (s *Server) EngineErrorCount() int64 { return s.engineErrs.Load() }
+
+// RefusedCount returns the number of connections refused before admission
+// (overload or shutdown).
+func (s *Server) RefusedCount() int64 { return s.refused.Load() }
 
 // NewServer wraps a processor with the default configuration.
 func NewServer(proc *msq.Processor) (*Server, error) {
@@ -225,8 +262,12 @@ func (s *Server) logf(format string, args ...any) {
 // returns a non-nil error; after Close the error is net.ErrClosed.
 func (s *Server) Serve(lis net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
+		// Shutdown/Close ran before the listener was registered and so
+		// could not close it; close it here, or the open socket would keep
+		// accepting TCP handshakes into the backlog with no one serving.
 		s.mu.Unlock()
+		lis.Close() //nolint:errcheck
 		return net.ErrClosed
 	}
 	s.lis = lis
@@ -262,6 +303,7 @@ func (s *Server) Serve(lis net.Listener) error {
 // refuse sends a final error response and closes the connection without
 // admitting it to the served set.
 func (s *Server) refuse(conn net.Conn, code, msg string) {
+	s.refused.Add(1)
 	s.logf("wire: refusing %s: %s", conn.RemoteAddr(), msg)
 	if s.cfg.WriteTimeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
@@ -401,14 +443,30 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	enc := json.NewEncoder(w)
+	tr := s.cfg.Tracer
+	traced := tr.Enabled()
 	send := func(resp Response) error {
+		switch resp.Code {
+		case CodeBadRequest:
+			s.badRequests.Add(1)
+		case CodeEngine:
+			s.engineErrs.Add(1)
+		}
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
 		}
-		if err := enc.Encode(resp); err != nil {
-			return err
+		var encStart time.Time
+		if traced {
+			encStart = time.Now()
 		}
-		return w.Flush()
+		err := enc.Encode(resp)
+		if err == nil {
+			err = w.Flush()
+		}
+		if traced {
+			tr.ObserveSince(obs.PhaseWireEncode, encStart)
+		}
+		return err
 	}
 
 	for {
@@ -434,8 +492,17 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		requests++
+		s.requests.Add(1)
+		var decStart time.Time
+		if traced {
+			decStart = time.Now()
+		}
 		var req Request
-		if err := json.Unmarshal(line, &req); err != nil {
+		err = json.Unmarshal(line, &req)
+		if traced {
+			tr.ObserveSince(obs.PhaseWireDecode, decStart)
+		}
+		if err != nil {
 			send(Response{ //nolint:errcheck // closing anyway
 				Err:   fmt.Sprintf("malformed request: %v", err),
 				Code:  CodeBadRequest,
@@ -592,9 +659,50 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	return resp, nil
 }
 
+// roundTripContext is roundTrip bounded by ctx: a context deadline becomes
+// the connection deadline, and a cancellation interrupts the blocked read
+// or write by expiring the connection immediately. The line protocol has no
+// way to retract a request already on the wire, so after a context abort
+// the connection is out of sync with the server and unusable — the caller
+// should Close it and dial a fresh client (which also discards the
+// server-side session, exactly as the paper's incremental semantics
+// require: buffered partial answers live and die with the connection).
+func (c *Client) roundTripContext(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, fmt.Errorf("wire: %w", err)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d) //nolint:errcheck
+	}
+	stop := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			c.conn.SetDeadline(time.Now()) //nolint:errcheck // unblock I/O now
+		case <-stop:
+		}
+	}()
+	resp, err := c.roundTrip(req)
+	close(stop)
+	<-watcherDone
+	if ctxErr := ctx.Err(); ctxErr != nil && err != nil {
+		return Response{}, fmt.Errorf("wire: %w", ctxErr)
+	}
+	c.conn.SetDeadline(time.Time{}) //nolint:errcheck
+	return resp, err
+}
+
 // Query evaluates a single similarity query.
 func (c *Client) Query(q QuerySpec) ([]Answer, Stats, error) {
-	resp, err := c.roundTrip(Request{Op: OpQuery, Queries: []QuerySpec{q}})
+	return c.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query bounded by ctx (see roundTripContext for the
+// connection-poisoning caveat on aborts).
+func (c *Client) QueryContext(ctx context.Context, q QuerySpec) ([]Answer, Stats, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpQuery, Queries: []QuerySpec{q}})
 	if err != nil {
 		return nil, resp.Stats, err
 	}
@@ -606,19 +714,34 @@ func (c *Client) Query(q QuerySpec) ([]Answer, Stats, error) {
 
 // Ping probes the server for liveness over the session connection.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip(Request{Op: OpPing})
+	return c.PingContext(context.Background())
+}
+
+// PingContext is Ping bounded by ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.roundTripContext(ctx, Request{Op: OpPing})
 	return err
 }
 
 // Multi evaluates a multiple similarity query incrementally (Definition 4).
 func (c *Client) Multi(qs []QuerySpec) ([][]Answer, Stats, error) {
-	resp, err := c.roundTrip(Request{Op: OpMulti, Queries: qs})
+	return c.MultiContext(context.Background(), qs)
+}
+
+// MultiContext is Multi bounded by ctx.
+func (c *Client) MultiContext(ctx context.Context, qs []QuerySpec) ([][]Answer, Stats, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpMulti, Queries: qs})
 	return resp.Answers, resp.Stats, err
 }
 
 // MultiAll evaluates a batch to completion.
 func (c *Client) MultiAll(qs []QuerySpec) ([][]Answer, Stats, error) {
-	resp, err := c.roundTrip(Request{Op: OpMultiAll, Queries: qs})
+	return c.MultiAllContext(context.Background(), qs)
+}
+
+// MultiAllContext is MultiAll bounded by ctx.
+func (c *Client) MultiAllContext(ctx context.Context, qs []QuerySpec) ([][]Answer, Stats, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpMultiAll, Queries: qs})
 	return resp.Answers, resp.Stats, err
 }
 
