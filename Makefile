@@ -1,4 +1,4 @@
-.PHONY: check fmt vet build test race differential obsgate bench bench-all
+.PHONY: check fmt vet build test race differential obsgate bench bench-all bench-compare
 
 # The pre-PR gate: formatting, static analysis, build, race-enabled tests,
 # the multi-query differential suite under the race detector, and the
@@ -49,7 +49,27 @@ bench:
 	go run ./cmd/msqbench -experiment kernels
 	go run ./cmd/msqbench -experiment intra
 	go run ./cmd/msqbench -experiment obs
+	go run ./cmd/msqbench -experiment distobs
 
 # Every benchmark in the repository, including the paper-figure suites.
 bench-all:
 	go test -bench=. -benchmem -run=^$$ ./...
+
+# The regression gate: regenerate every BENCH_*.json artifact into a
+# scratch directory and diff it against the committed baseline with
+# benchcompare, failing on a >10% regression of any scale-free metric
+# (identity verdicts, speedups, avoidance counters, pages read). Raw
+# wall-clock numbers are machine-dependent and are not compared;
+# speedups, being wall-clock ratios, are judged against a wider 25%
+# band (see cmd/benchcompare).
+bench-compare:
+	@rm -rf .bench-fresh && mkdir -p .bench-fresh
+	go run ./cmd/msqbench -experiment kernels -kernels-out .bench-fresh/BENCH_kernels.json > /dev/null
+	go run ./cmd/msqbench -experiment intra -intra-out .bench-fresh/BENCH_parallel_intra.json > /dev/null
+	go run ./cmd/msqbench -experiment obs -obs-out .bench-fresh/BENCH_obs.json > /dev/null
+	go run ./cmd/msqbench -experiment distobs -distobs-out .bench-fresh/BENCH_distobs.json > /dev/null
+	go run ./cmd/benchcompare -tolerance 0.10 \
+		BENCH_kernels.json .bench-fresh/BENCH_kernels.json \
+		BENCH_parallel_intra.json .bench-fresh/BENCH_parallel_intra.json \
+		BENCH_obs.json .bench-fresh/BENCH_obs.json \
+		BENCH_distobs.json .bench-fresh/BENCH_distobs.json

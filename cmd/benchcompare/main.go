@@ -1,0 +1,201 @@
+// Command benchcompare diffs freshly generated BENCH_*.json artifacts
+// against the committed baselines and fails (exit 1) on regression beyond
+// a tolerance.
+//
+// Usage:
+//
+//	benchcompare [-tolerance 0.10] [-speedup-tolerance 0.25] baseline.json fresh.json [...]
+//
+// The two documents of each pair are walked in lockstep and compared
+// metric by metric, keyed by JSON field name. Only scale-free metrics are
+// judged, so the comparison is meaningful across machines:
+//
+//   - identity verdicts ("identical", "stable"): a true-to-false flip is
+//     always a regression, tolerance does not apply;
+//   - work counters, lower is better ("pages_read", "dist_calcs"): fresh
+//     exceeding baseline by more than the tolerance is a regression;
+//   - effectiveness metrics, higher is better ("speedup", "avoided",
+//     "partial_abandoned"): fresh falling short of baseline by more than
+//     the tolerance is a regression.
+//
+// Wall-clock fields (seconds, *_ns, *_ns_per_op) are machine-dependent
+// and are deliberately not compared. Speedups are ratios of wall clocks —
+// scale-free across machines but noisy run to run on a shared box — so
+// they are judged against the wider -speedup-tolerance; the deterministic
+// counters and verdicts use the tight -tolerance. A judged metric present
+// in the baseline but missing from the fresh document is a regression;
+// fields added by newer code are ignored, so baselines age gracefully.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative slack for deterministic metrics")
+	speedupTol := flag.Float64("speedup-tolerance", 0.25, "allowed relative slack for wall-clock-derived speedups")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-tolerance 0.10] [-speedup-tolerance 0.25] baseline.json fresh.json [...]")
+		os.Exit(2)
+	}
+	failed := false
+	for i := 0; i < len(args); i += 2 {
+		regressions, compared, err := compareFiles(args[i], args[i+1], *tolerance, *speedupTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+			os.Exit(2)
+		}
+		if len(regressions) == 0 {
+			fmt.Printf("ok   %s vs %s (%d metrics within %.0f%%)\n", args[i], args[i+1], compared, *tolerance*100)
+			continue
+		}
+		failed = true
+		fmt.Printf("FAIL %s vs %s (%d metrics compared):\n", args[i], args[i+1], compared)
+		for _, r := range regressions {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func compareFiles(basePath, freshPath string, tolerance, speedupTol float64) (regressions []string, compared int, err error) {
+	base, err := readJSON(basePath)
+	if err != nil {
+		return nil, 0, err
+	}
+	fresh, err := readJSON(freshPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	c := &comparer{tolerance: tolerance, speedupTol: speedupTol}
+	c.walk("", base, fresh)
+	sort.Strings(c.regressions)
+	return c.regressions, c.compared, nil
+}
+
+func readJSON(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// Metric classification by JSON field name.
+var (
+	boolMetrics = map[string]bool{"identical": true, "stable": true}
+	// higherWorse are work counters: doing more of this is a regression.
+	higherWorse = map[string]bool{"pages_read": true, "dist_calcs": true}
+	// lowerWorse are effectiveness metrics: achieving less is a regression.
+	lowerWorse = map[string]bool{"speedup": true, "avoided": true, "partial_abandoned": true}
+)
+
+type comparer struct {
+	tolerance   float64
+	speedupTol  float64
+	compared    int
+	regressions []string
+}
+
+func (c *comparer) fail(path, format string, args ...any) {
+	c.regressions = append(c.regressions, path+": "+fmt.Sprintf(format, args...))
+}
+
+// walk descends base and fresh in lockstep. Objects are matched by key,
+// arrays by index (rows of one experiment's result table keep their order
+// across runs). Leaves are judged only when their key is classified.
+func (c *comparer) walk(path string, base, fresh any) {
+	switch b := base.(type) {
+	case map[string]any:
+		f, ok := fresh.(map[string]any)
+		if !ok {
+			c.fail(path, "object in baseline, %T in fresh", fresh)
+			return
+		}
+		for k, bv := range b {
+			sub := path + "/" + k
+			fv, ok := f[k]
+			if !ok {
+				if boolMetrics[k] || higherWorse[k] || lowerWorse[k] {
+					c.fail(sub, "judged metric missing from fresh document")
+				}
+				continue
+			}
+			c.walk(sub, bv, fv)
+		}
+	case []any:
+		f, ok := fresh.([]any)
+		if !ok {
+			c.fail(path, "array in baseline, %T in fresh", fresh)
+			return
+		}
+		if len(f) < len(b) {
+			c.fail(path, "baseline has %d entries, fresh only %d", len(b), len(f))
+		}
+		for i := 0; i < len(b) && i < len(f); i++ {
+			c.walk(fmt.Sprintf("%s[%d]", path, i), b[i], f[i])
+		}
+	case bool:
+		key := leafKey(path)
+		if !boolMetrics[key] {
+			return
+		}
+		fv, ok := fresh.(bool)
+		if !ok {
+			c.fail(path, "bool in baseline, %T in fresh", fresh)
+			return
+		}
+		c.compared++
+		if b && !fv {
+			c.fail(path, "verdict flipped true -> false")
+		}
+	case float64:
+		key := leafKey(path)
+		worse := higherWorse[key]
+		better := lowerWorse[key]
+		if !worse && !better {
+			return
+		}
+		fv, ok := fresh.(float64)
+		if !ok {
+			c.fail(path, "number in baseline, %T in fresh", fresh)
+			return
+		}
+		c.compared++
+		tol := c.tolerance
+		if key == "speedup" {
+			tol = c.speedupTol
+		}
+		switch {
+		case b == 0:
+			if worse && fv > 0 {
+				c.fail(path, "was 0, now %g", fv)
+			}
+		case worse && fv > b*(1+tol):
+			c.fail(path, "%g -> %g (+%.1f%%, tolerance %.0f%%)", b, fv, (fv/b-1)*100, tol*100)
+		case better && fv < b*(1-tol):
+			c.fail(path, "%g -> %g (-%.1f%%, tolerance %.0f%%)", b, fv, (1-fv/b)*100, tol*100)
+		}
+	}
+}
+
+func leafKey(path string) string {
+	key := path[strings.LastIndex(path, "/")+1:]
+	if i := strings.IndexByte(key, '['); i >= 0 {
+		key = key[:i]
+	}
+	return key
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePasses(t *testing.T) {
+	base := write(t, "base.json", `[{"results":[
+		{"identical":true,"speedup":2.0,"pages_read":100,"dist_calcs":5000,"seconds":9.0},
+		{"identical":true,"speedup":3.5,"pages_read":100,"dist_calcs":5000,"seconds":4.0}]}]`)
+	fresh := write(t, "fresh.json", `[{"results":[
+		{"identical":true,"speedup":1.95,"pages_read":100,"dist_calcs":5100,"seconds":0.1},
+		{"identical":true,"speedup":3.6,"pages_read":100,"dist_calcs":5000,"seconds":0.1}]}]`)
+	regressions, compared, err := compareFiles(base, fresh, 0.10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Errorf("unexpected regressions: %v", regressions)
+	}
+	// 2 verdicts + 2 speedups + 2 pages_read + 2 dist_calcs; seconds is
+	// wall clock and must not be judged.
+	if compared != 8 {
+		t.Errorf("compared %d metrics, want 8", compared)
+	}
+}
+
+func TestCompareFlagsCounterRegression(t *testing.T) {
+	base := write(t, "base.json", `{"pages_read":100}`)
+	fresh := write(t, "fresh.json", `{"pages_read":115}`)
+	regressions, _, err := compareFiles(base, fresh, 0.10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "pages_read") {
+		t.Errorf("regressions = %v, want one on pages_read", regressions)
+	}
+}
+
+func TestCompareFlagsVerdictFlip(t *testing.T) {
+	base := write(t, "base.json", `{"identical":true}`)
+	fresh := write(t, "fresh.json", `{"identical":false}`)
+	regressions, _, err := compareFiles(base, fresh, 0.10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "flipped") {
+		t.Errorf("regressions = %v, want one verdict flip", regressions)
+	}
+}
+
+func TestCompareFlagsSpeedupDrop(t *testing.T) {
+	base := write(t, "base.json", `{"speedup":4.0,"avoided":1000}`)
+	fresh := write(t, "fresh.json", `{"speedup":2.5,"avoided":850}`)
+	regressions, _, err := compareFiles(base, fresh, 0.10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 2 {
+		t.Errorf("regressions = %v, want speedup and avoided", regressions)
+	}
+}
+
+func TestCompareFlagsMissingMetricAndShortArray(t *testing.T) {
+	base := write(t, "base.json", `{"results":[{"speedup":2.0},{"speedup":3.0}]}`)
+	fresh := write(t, "fresh.json", `{"results":[{"seconds":1.0}]}`)
+	regressions, _, err := compareFiles(base, fresh, 0.10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing, short bool
+	for _, r := range regressions {
+		if strings.Contains(r, "missing") {
+			missing = true
+		}
+		if strings.Contains(r, "entries") {
+			short = true
+		}
+	}
+	if !missing || !short {
+		t.Errorf("regressions = %v, want a missing-metric and a short-array failure", regressions)
+	}
+}
+
+func TestCompareIgnoresAddedFields(t *testing.T) {
+	base := write(t, "base.json", `{"speedup":2.0}`)
+	fresh := write(t, "fresh.json", `{"speedup":2.1,"new_metric":123,"identical":false}`)
+	regressions, _, err := compareFiles(base, fresh, 0.10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Errorf("added fresh-only fields must not be judged, got %v", regressions)
+	}
+}

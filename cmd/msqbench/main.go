@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs|distobs]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
 //	         [-kernels-out BENCH_kernels.json]
 //	         [-obs-out BENCH_obs.json]
+//	         [-distobs-out BENCH_distobs.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
@@ -32,6 +33,15 @@
 // engine and pipeline width, re-checking that every traced run returned
 // answers and counters identical to an untraced reference, and writes the
 // phase baseline to -obs-out as JSON.
+//
+// The distobs experiment exercises the distributed observability layer: a
+// coordinator fans one batch out to 4 wire servers on loopback TCP (one on
+// a transient disk fault, forcing a retried attempt), checks that a single
+// stitched cross-server trace with one child span per server call was
+// recorded and that traced and untraced runs returned bit-identical
+// answers and counters at every pipeline width, verifies the per-query
+// EXPLAIN profile's width stability, and writes the results to
+// -distobs-out as JSON.
 //
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
@@ -60,15 +70,16 @@ func main() {
 		intraOut   = flag.String("intra-out", "BENCH_parallel_intra.json", "output file for the intra experiment's JSON results")
 		kernelsOut = flag.String("kernels-out", "BENCH_kernels.json", "output file for the kernels experiment's JSON results")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
+		distObsOut = flag.String("distobs-out", "BENCH_distobs.json", "output file for the distobs experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut, *distObsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut, distObsOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -82,7 +93,7 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
-		"intra": true, "kernels": true, "obs": true}
+		"intra": true, "kernels": true, "obs": true, "distobs": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -134,7 +145,8 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	needChaos := want("chaos")
 	needIntra := want("intra")
 	needObs := want("obs")
-	if !needSweep && !needParallel && !needChaos && !needIntra && !needObs {
+	needDistObs := want("distobs")
+	if !needSweep && !needParallel && !needChaos && !needIntra && !needObs && !needDistObs {
 		return nil
 	}
 
@@ -238,6 +250,44 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", obsOut)
+	}
+
+	if needDistObs {
+		var profiles []*experiments.DistObsProfile
+		for _, wl := range workloads {
+			profile, err := experiments.RunDistObs(wl.w, 4, []int{1, 2, 8}, sc.BaseM)
+			if err != nil {
+				return err
+			}
+			for _, r := range profile.Runs {
+				if !r.Identical {
+					return fmt.Errorf("distobs: %s width %d: traced run diverged from the untraced reference",
+						profile.Workload, r.Width)
+				}
+				if r.Traces != 1 {
+					return fmt.Errorf("distobs: %s width %d: %d stitched traces, want exactly 1",
+						profile.Workload, r.Width, r.Traces)
+				}
+				if r.ServerCalls < profile.Servers+1 {
+					return fmt.Errorf("distobs: %s width %d: %d server_call spans, want >= %d (servers + retried attempt)",
+						profile.Workload, r.Width, r.ServerCalls, profile.Servers+1)
+				}
+			}
+			for _, e := range profile.Explain {
+				if !e.Stable {
+					return fmt.Errorf("distobs: %s: EXPLAIN profile moved between widths %d and %d",
+						profile.Workload, profile.Explain[0].Width, e.Width)
+				}
+			}
+			if err := emit(profile.Figure()); err != nil {
+				return err
+			}
+			profiles = append(profiles, profile)
+		}
+		if err := experiments.WriteDistObsJSONFile(distObsOut, profiles); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", distObsOut)
 	}
 
 	if needParallel {

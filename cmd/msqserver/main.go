@@ -67,8 +67,9 @@ func main() {
 		writeTO   = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace period")
 
-		adminAddr = flag.String("admin", "", "admin HTTP listen address for /metrics, /debug/traces and /debug/pprof (empty = observability disabled)")
+		adminAddr = flag.String("admin", "", "admin HTTP listen address for /metrics, /debug/traces, /debug/explain and /debug/pprof (empty = observability disabled)")
 		slowQuery = flag.Duration("slow-query", obs.DefaultSlowQueryThreshold, "slow-query log threshold (needs -admin; negative disables the log)")
+		node      = flag.String("node", "server", "node label on distributed trace spans recorded by this process")
 	)
 	flag.Parse()
 	cfg := wire.ServerConfig{
@@ -79,13 +80,13 @@ func main() {
 		Logf:            log.Printf,
 		Concurrency:     *width,
 	}
-	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain, *adminAddr, *slowQuery); err != nil {
+	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain, *adminAddr, *slowQuery, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "msqserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig, drain time.Duration, adminAddr string, slowQuery time.Duration) error {
+func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig, drain time.Duration, adminAddr string, slowQuery time.Duration, node string) error {
 	var items []metricdb.Item
 	var err error
 	if dataFile != "" {
@@ -97,7 +98,7 @@ func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig
 		return err
 	}
 
-	srv, lis, adminLis, err := serve(addr, items, engine, cfg, adminAddr, slowQuery)
+	srv, lis, adminLis, err := serve(addr, items, engine, cfg, adminAddr, slowQuery, node)
 	if err != nil {
 		return err
 	}
@@ -152,7 +153,7 @@ type adminListener struct {
 // serve builds the database and binds the listeners (separated for tests).
 // When adminAddr is non-empty the query path runs with a tracer installed
 // and the returned adminListener serves the observability endpoints.
-func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerConfig, adminAddr string, slowQuery time.Duration) (*wire.Server, net.Listener, *adminListener, error) {
+func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerConfig, adminAddr string, slowQuery time.Duration, node string) (*wire.Server, net.Listener, *adminListener, error) {
 	opts := metricdb.Options{Engine: metricdb.EngineKind(engine)}
 	if err := opts.Validate(); err != nil {
 		return nil, nil, nil, err
@@ -165,7 +166,7 @@ func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerCon
 	proc := db.Processor()
 	var tracer *obs.Tracer
 	if adminAddr != "" {
-		tracer = obs.New(obs.Config{SlowQueryThreshold: slowQuery})
+		tracer = obs.New(obs.Config{SlowQueryThreshold: slowQuery, Node: node})
 		proc = proc.WithTracer(tracer) // also installs the pager's page_fetch hook
 		cfg.Tracer = tracer
 	}
@@ -187,7 +188,10 @@ func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerCon
 		}
 		reg := newRegistry(tracer, db, srv, engine)
 		admin = &adminListener{
-			srv: &http.Server{Handler: obs.AdminHandler(reg), ReadHeaderTimeout: 5 * time.Second},
+			srv: &http.Server{
+				Handler:           obs.AdminHandler(reg, obs.Endpoint{Pattern: "/debug/explain", Handler: srv.ExplainHandler()}),
+				ReadHeaderTimeout: 5 * time.Second,
+			},
 			lis: alis,
 		}
 	}
@@ -215,6 +219,8 @@ func newRegistry(tracer *obs.Tracer, db *metricdb.DB, srv *wire.Server, engine s
 		func() float64 { hits, _, _ := buf.HitRate(); return float64(hits) })
 	reg.Counter("metricdb_buffer_misses_total", "", "Buffer-pool lookups that missed.",
 		func() float64 { _, misses, _ := buf.HitRate(); return float64(misses) })
+	reg.Counter("metricdb_buffer_evictions_total", "", "Pages evicted from the buffer pool (LRU).",
+		func() float64 { return float64(buf.Evictions()) })
 	reg.Gauge("metricdb_buffer_pages", "", "Pages currently resident in the buffer pool.",
 		func() float64 { return float64(buf.Len()) })
 	reg.Gauge("metricdb_buffer_capacity_pages", "", "Buffer-pool capacity in pages.",

@@ -16,7 +16,7 @@ import (
 
 func TestServeEndToEnd(t *testing.T) {
 	items := dataset.Uniform(3, 500, 4)
-	srv, lis, _, err := serve("127.0.0.1:0", items, "xtree", wire.ServerConfig{}, "", 0)
+	srv, lis, _, err := serve("127.0.0.1:0", items, "xtree", wire.ServerConfig{}, "", 0, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 func TestServeRejectsBadEngine(t *testing.T) {
 	items := dataset.Uniform(4, 50, 3)
-	if _, _, _, err := serve("127.0.0.1:0", items, "btree", wire.ServerConfig{}, "", 0); err == nil {
+	if _, _, _, err := serve("127.0.0.1:0", items, "btree", wire.ServerConfig{}, "", 0, "server"); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
@@ -54,7 +54,7 @@ func TestServeRejectsBadEngine(t *testing.T) {
 // silently dropped connection.
 func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 	items := dataset.Uniform(5, 200, 3)
-	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0)
+	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 // listener, lets connected clients finish, and Serve returns cleanly.
 func TestGracefulDrain(t *testing.T) {
 	items := dataset.Uniform(6, 300, 3)
-	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0)
+	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestGracefulDrain(t *testing.T) {
 // counters and that /debug/traces returns the recorded spans as JSONL.
 func TestAdminEndpoints(t *testing.T) {
 	items := dataset.Uniform(7, 400, 4)
-	srv, lis, admin, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "127.0.0.1:0", time.Nanosecond)
+	srv, lis, admin, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "127.0.0.1:0", time.Nanosecond, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,8 +163,10 @@ func TestAdminEndpoints(t *testing.T) {
 		`metricdb_phase_duration_seconds_count{phase="kernel"}`,
 		"metricdb_wire_requests_total 1",
 		"metricdb_buffer_capacity_pages",
+		"metricdb_buffer_evictions_total",
 		`metricdb_disk_reads_total{kind="rand"}`,
 		"metricdb_traced_queries_total 1",
+		`metricdb_phase_duration_quantile_seconds{phase="kernel",quantile="0.95"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -183,5 +185,24 @@ func TestAdminEndpoints(t *testing.T) {
 	slow := get("/debug/slow")
 	if !strings.Contains(slow, `"op": "single"`) {
 		t.Errorf("/debug/slow missing the query at 1ns threshold: %.200s", slow)
+	}
+
+	// The process-specific /debug/explain endpoint is mounted on the same
+	// admin mux and profiles a POSTed batch.
+	body := strings.NewReader(`{"queries":[{"id":1,"vector":[0.5,0.5,0.5,0.5],"kind":"knn","k":5}]}`)
+	resp, err := http.Post("http://"+admin.lis.Addr().String()+"/debug/explain", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	explain, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/explain: status %d: %.200s", resp.StatusCode, explain)
+	}
+	if !strings.Contains(string(explain), `"pages_visited"`) {
+		t.Errorf("/debug/explain has no profile: %.200s", explain)
 	}
 }

@@ -329,6 +329,28 @@ func (b *Batch) QueryAllContext(ctx context.Context, queries []Query) ([][]Answe
 	return out, stats, nil
 }
 
+// Explain is a per-batch EXPLAIN profile: per-query work attribution
+// (pages visited, distance calculations, Lemma 1 vs Lemma 2 avoidance,
+// early-abandoned kernels), buffer-pool hit/miss/eviction deltas, and wall
+// time per processing phase. Obtain one with DB.Explain or
+// DB.ExplainContext.
+type Explain = msq.Explain
+
+// Profile is the per-query slice of an Explain.
+type Profile = msq.Profile
+
+// Explain evaluates the batch to completion like Batch.QueryAll while
+// attributing the work to each query position. The answers and Stats
+// embedded in the profile are bit-identical to an unprofiled run.
+func (db *DB) Explain(queries []Query) (*Explain, error) {
+	return db.ExplainContext(context.Background(), queries)
+}
+
+// ExplainContext is Explain bounded by ctx (checked once per data page).
+func (db *DB) ExplainContext(ctx context.Context, queries []Query) (*Explain, error) {
+	return db.proc.ExplainContext(ctx, queries)
+}
+
 // Ranking is an incremental nearest-neighbor iterator: objects are emitted
 // in ascending distance, reading data pages lazily (the Hjaltason–Samet
 // ranking the paper's page scheduling is based on). Obtain one with

@@ -1,0 +1,321 @@
+package msq
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"metricdb/internal/obs"
+	"metricdb/internal/store"
+)
+
+// EXPLAIN: per-query cost profiles for one batch. The paper's counters
+// (§5.1 pages read, §5.2 distance calculations and avoidance tries) are
+// batch totals; a profile attributes them to the individual query position
+// — which queries paid for the shared pages, which lemma did the avoiding,
+// how often the bounded kernel abandoned — plus the call's buffer-pool
+// behaviour and per-phase wall time. Like tracing, EXPLAIN is strictly
+// observational: the explain twins of the page loops make byte-for-byte
+// the same avoidance, abandonment and Consider decisions as the plain
+// loops, so answers and the batch counters are identical with and without
+// profiling.
+//
+// Width stability: page visits, answers, and the per-query offered set
+// (DistCalcs + Lemma1Avoided + Lemma2Avoided) are pure functions of the
+// page-barrier state and therefore identical at every pipeline width. The
+// split of the offered set into calculated/avoided/abandoned is identical
+// across all widths >= 2 (snapshot-pure decisions, chunk-independent known
+// lists) but may shift slightly against width 1, which tightens pruning
+// bounds item by item (see pipeline.go). Wall-time fields are timing, not
+// counters, and are never expected to be stable.
+
+// Profile is the EXPLAIN record of one query position in a batch.
+type Profile struct {
+	// ID is the caller-chosen query identity.
+	ID uint64 `json:"id"`
+	// Kind is the query type ("range" or "knn").
+	Kind string `json:"kind"`
+	// PagesVisited counts the data pages examined for this query: pages
+	// where the query was active at the page barrier, plus its seed page.
+	PagesVisited int64 `json:"pages_visited"`
+	// DistCalcs counts the object distance evaluations charged to this
+	// query (full or early-abandoned; the matrix overhead is batch-level).
+	DistCalcs int64 `json:"dist_calcs"`
+	// Abandoned counts the DistCalcs the bounded kernel cut short.
+	Abandoned int64 `json:"abandoned"`
+	// Lemma1Avoided / Lemma2Avoided split the avoided calculations by the
+	// lemma that proved them irrelevant (Definition 5). Under AvoidBoth a
+	// pair satisfying both lemmas is attributed to Lemma 1, matching the
+	// evaluation order of the plain loop.
+	Lemma1Avoided int64 `json:"lemma1_avoided"`
+	Lemma2Avoided int64 `json:"lemma2_avoided"`
+	// AvoidTries counts the triangle-inequality probes spent on this query.
+	AvoidTries int64 `json:"avoid_tries"`
+	// Answers is the query's final answer count.
+	Answers int `json:"answers"`
+}
+
+// Offered returns the query's offered set: every (item, query) pair the
+// page loop considered, whether calculated or avoided. It is identical at
+// every pipeline width.
+func (p Profile) Offered() int64 {
+	return p.DistCalcs + p.Lemma1Avoided + p.Lemma2Avoided
+}
+
+// Explain is the profile of one ExplainAllContext call: per-query
+// attribution plus the batch-level shared costs.
+type Explain struct {
+	// Engine is the physical organization the batch ran against.
+	Engine string `json:"engine"`
+	// Width is the pipeline width the batch ran at.
+	Width int `json:"width"`
+	// Avoidance is the triangle-inequality mode ("both", "off", ...).
+	Avoidance string `json:"avoidance"`
+	// Queries holds one profile per query position, batch order.
+	Queries []Profile `json:"queries"`
+	// Stats is the call's batch-level counter record (the same Stats a
+	// MultiQueryAll call returns).
+	Stats Stats `json:"stats"`
+	// BufferHits/BufferMisses/BufferEvictions are the LRU buffer-pool
+	// deltas over the call; BufferHitRatio is hits/(hits+misses), 0 when
+	// the call touched no pages (or the pager is unbuffered).
+	BufferHits      int64   `json:"buffer_hits"`
+	BufferMisses    int64   `json:"buffer_misses"`
+	BufferEvictions int64   `json:"buffer_evictions"`
+	BufferHitRatio  float64 `json:"buffer_hit_ratio"`
+	// PhaseNs is the call's wall time per phase (plan, matrix, page_wait,
+	// avoid, kernel, merge), in nanoseconds. Phases the call never entered
+	// are absent. Concurrent phases sum across workers, so the values can
+	// exceed WallNs at widths >= 2.
+	PhaseNs map[string]int64 `json:"phase_ns"`
+	// WallNs is the call's total wall time.
+	WallNs int64 `json:"wall_ns"`
+}
+
+// explainCounters is the mutable accumulator behind one Profile. The
+// pipeline's workers update it concurrently, so the fields are atomic; the
+// sequential path pays two uncontended atomic adds per pair, acceptable on
+// a diagnostic path.
+type explainCounters struct {
+	pagesVisited atomic.Int64
+	distCalcs    atomic.Int64
+	abandoned    atomic.Int64
+	lemma1       atomic.Int64
+	lemma2       atomic.Int64
+	tries        atomic.Int64
+}
+
+// explainState is attached to a Session for the duration of one
+// ExplainAllContext call; its presence switches the page loops to their
+// explain twins. prof is indexed by global batch position.
+type explainState struct {
+	prof    []explainCounters
+	phaseNs [obs.NumPhases]atomic.Int64
+}
+
+func newExplainState(m int) *explainState {
+	return &explainState{prof: make([]explainCounters, m)}
+}
+
+// observe accumulates phase wall time (the explain counterpart of
+// Tracer.Observe; safe from concurrent workers).
+func (ex *explainState) observe(p obs.Phase, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ex.phaseNs[p].Add(int64(d))
+}
+
+// avoidableExplain is avoidable plus lemma attribution: identical probe
+// order, probe count, and decision, additionally reporting whether the
+// avoiding lemma was Lemma 1 (true) or Lemma 2 (false). Under AvoidBoth
+// the plain loop's short-circuit `||` tests Lemma 1 first, so attributing
+// a both-lemmas pair to Lemma 1 reproduces its evaluation order exactly.
+// Keep in lockstep with avoidable.
+func (s *Session) avoidableExplain(qd float64, pos int, known []knownDist, matrix [][]float64, tries *int64) (avoided, byLemma1 bool) {
+	row := matrix[pos]
+	mode := s.proc.opts.Avoidance
+	if len(known) > maxAvoidProbes {
+		known = known[:maxAvoidProbes]
+	}
+	for _, k := range known {
+		*tries++
+		mij := row[k.idx]
+		switch mode {
+		case AvoidBoth:
+			if k.d-mij > qd {
+				return true, true
+			}
+			if mij-k.d > qd {
+				return true, false
+			}
+		case AvoidLemma1:
+			if k.d-mij > qd {
+				return true, true
+			}
+		case AvoidLemma2:
+			if mij-k.d > qd {
+				return true, false
+			}
+		}
+	}
+	return false, false
+}
+
+// processPageExplain is processPage with per-query attribution: the same
+// loop and the same decisions, plus profile updates and the traced twin's
+// avoid/kernel clock splits (feeding both the explain state and, when a
+// tracer is installed, the tracer). Keep this body in lockstep with
+// processPage and processPageTraced.
+func (s *Session) processPageExplain(ex *explainState, page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+	tr := s.proc.tracer
+	pageStart := time.Now()
+	var avoidNs time.Duration
+	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
+	kernel := s.proc.metric.Kernel()
+	var calcs, abandoned int64
+	qds = qds[:len(active)]
+	for i, st := range active {
+		qds[i] = st.queryDist()
+	}
+	var raise []float64
+	if avoiding {
+		raise = lemma1Raises(activeIdx, matrix, qds, raiseScratch)
+	}
+	for it := range page.Items {
+		item := &page.Items[it]
+		known = known[:0]
+		for a, st := range active {
+			pos := activeIdx[a]
+			prof := &ex.prof[pos]
+			qd := qds[a]
+			limit := qd
+			if avoiding {
+				t0 := time.Now()
+				var pairTries int64
+				av, byL1 := s.avoidableExplain(qd, pos, known, matrix, &pairTries)
+				stats.AvoidTries += pairTries
+				prof.tries.Add(pairTries)
+				if av {
+					stats.Avoided++
+					if byL1 {
+						prof.lemma1.Add(1)
+					} else {
+						prof.lemma2.Add(1)
+					}
+					avoidNs += time.Since(t0)
+					continue
+				}
+				limit = abandonLimit(qd, raise[a], len(known))
+				avoidNs += time.Since(t0)
+			}
+			d, within := kernel.DistanceWithin(st.q.Vec, item.Vec, limit)
+			calcs++
+			prof.distCalcs.Add(1)
+			if avoiding {
+				known = append(known, knownDist{d: d, idx: int32(pos)})
+			}
+			if within {
+				if st.answers.Consider(item.ID, d) {
+					wasInf := math.IsInf(qd, 1)
+					qds[a] = st.queryDist()
+					if avoiding && wasInf && !math.IsInf(qds[a], 1) {
+						row := matrix[pos]
+						for j, p := range activeIdx {
+							if t := row[p] + qds[a]; t > raise[j] {
+								raise[j] = t
+							}
+						}
+					}
+				}
+			} else {
+				abandoned++
+				prof.abandoned.Add(1)
+			}
+		}
+	}
+	s.proc.metric.AddCalls(calcs, abandoned)
+	ex.observe(obs.PhaseAvoid, avoidNs)
+	kernelDur := time.Since(pageStart) - avoidNs
+	if kernelDur < 0 {
+		kernelDur = 0
+	}
+	ex.observe(obs.PhaseKernel, kernelDur)
+	if tr.Enabled() {
+		tr.Observe(obs.PhaseAvoid, avoidNs)
+		tr.Observe(obs.PhaseKernel, kernelDur)
+	}
+}
+
+// ExplainAllContext evaluates the whole batch to completion, exactly like
+// MultiQueryAllContext, while building per-query profiles. The profiling
+// run is a real run: answers land in the session's buffers and the
+// returned Stats match what MultiQueryAllContext would have reported for
+// the same call. Sessions with buffered progress are profiled for the
+// remaining work only.
+func (s *Session) ExplainAllContext(ctx context.Context, queries []Query) (*Explain, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ex := newExplainState(len(queries))
+	s.explain = ex
+	defer func() { s.explain = nil }()
+
+	var hits0, misses0, evict0 int64
+	buf := s.proc.eng.Pager().Buffer()
+	if buf != nil {
+		hits0, misses0, _ = buf.HitRate()
+		evict0 = buf.Evictions()
+	}
+	begin := time.Now()
+
+	results, stats, err := s.multiQueryAllLocked(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Explain{
+		Engine:    s.proc.eng.Name(),
+		Width:     s.proc.Concurrency(),
+		Avoidance: s.proc.opts.Avoidance.String(),
+		Queries:   make([]Profile, len(queries)),
+		Stats:     stats,
+		PhaseNs:   make(map[string]int64),
+		WallNs:    int64(time.Since(begin)),
+	}
+	if buf != nil {
+		hits1, misses1, _ := buf.HitRate()
+		out.BufferHits = hits1 - hits0
+		out.BufferMisses = misses1 - misses0
+		out.BufferEvictions = buf.Evictions() - evict0
+		if total := out.BufferHits + out.BufferMisses; total > 0 {
+			out.BufferHitRatio = float64(out.BufferHits) / float64(total)
+		}
+	}
+	for p := 0; p < obs.NumPhases; p++ {
+		if ns := ex.phaseNs[p].Load(); ns > 0 {
+			out.PhaseNs[obs.Phase(p).String()] = ns
+		}
+	}
+	for i := range queries {
+		c := &ex.prof[i]
+		out.Queries[i] = Profile{
+			ID:            queries[i].ID,
+			Kind:          queries[i].Type.Kind.String(),
+			PagesVisited:  c.pagesVisited.Load(),
+			DistCalcs:     c.distCalcs.Load(),
+			Abandoned:     c.abandoned.Load(),
+			Lemma1Avoided: c.lemma1.Load(),
+			Lemma2Avoided: c.lemma2.Load(),
+			AvoidTries:    c.tries.Load(),
+			Answers:       results[i].Len(),
+		}
+	}
+	return out, nil
+}
+
+// ExplainContext profiles one batch on a fresh session (the one-shot
+// counterpart of Processor.MultiQueryContext).
+func (p *Processor) ExplainContext(ctx context.Context, queries []Query) (*Explain, error) {
+	return p.NewSession().ExplainAllContext(ctx, queries)
+}

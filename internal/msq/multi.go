@@ -62,6 +62,10 @@ type Session struct {
 	// overhead at m(m-1)/2 for a block of m queries even under
 	// incremental evaluation.
 	pairDist map[pairKey]float64
+	// explain, when non-nil, switches the page loops to their explain
+	// twins for the duration of one ExplainAllContext call (set and
+	// cleared under mu; the pipeline's workers only read it).
+	explain *explainState
 }
 
 // pairKey identifies an unordered query pair.
@@ -239,16 +243,24 @@ func (s *Session) run(ctx context.Context, states []*queryState, matrix [][]floa
 	// +Inf, which is fine — a scan processes every page for every query
 	// by design.
 	s.bootstrap(states)
-	if err := s.seedFirstPages(states, stats); err != nil {
+	if err := s.seedFirstPages(states, pos, stats); err != nil {
 		return err
 	}
 
 	// determine_relevant_data_pages: the plan covers (at least) every
 	// page relevant for Q1, in optimal order. Buffered partial answers
 	// and the a-priori bound give Q1 a head start on its query distance.
+	ex := s.explain
+	var planStart time.Time
+	if ex != nil {
+		planStart = time.Now()
+	}
 	sp := tr.Start(obs.PhasePlan)
 	plan := s.proc.eng.Plan(first.q.Vec, first.queryDist())
 	sp.End()
+	if ex != nil {
+		ex.observe(obs.PhasePlan, time.Since(planStart))
+	}
 
 	if width := s.proc.Concurrency(); width > 1 {
 		if err := s.runPipeline(ctx, plan, states, matrix, pos, stats, width); err != nil {
@@ -281,17 +293,25 @@ func (s *Session) run(ctx context.Context, states []*queryState, matrix [][]floa
 		active, activePos = s.decideActive(ref.ID, states, pos, active, activePos)
 
 		var waitStart time.Time
-		if traced {
+		if traced || ex != nil {
 			waitStart = time.Now()
 		}
 		page, err := s.proc.eng.ReadPage(ref.ID)
 		if traced {
 			tr.ObserveSince(obs.PhasePageWait, waitStart)
 		}
+		if ex != nil {
+			ex.observe(obs.PhasePageWait, time.Since(waitStart))
+		}
 		if err != nil {
 			return fmt.Errorf("msq: multiple query: %w", err)
 		}
 		stats.PageVisits += int64(len(active))
+		if ex != nil {
+			for _, p := range activePos {
+				ex.prof[p].pagesVisited.Add(1)
+			}
+		}
 
 		s.processPage(page, active, activePos, matrix, stats, known, qds, raiseScratch)
 
@@ -364,8 +384,9 @@ func (s *Session) bootstrap(states []*queryState) {
 // pages. Only queries whose answer list is still unfilled are seeded, and
 // only on engines with geometric page knowledge (an uninformative engine
 // such as the scan would always seed page 0 for everyone).
-func (s *Session) seedFirstPages(states []*queryState, stats *Stats) error {
+func (s *Session) seedFirstPages(states []*queryState, pos []int, stats *Stats) error {
 	eng := s.proc.eng
+	ex := s.explain
 	nPages := eng.NumPages()
 	for idx, st := range states {
 		if idx == 0 || st.done || st.answers.Full() || !st.q.Type.Bounded() {
@@ -395,11 +416,22 @@ func (s *Session) seedFirstPages(states []*queryState, stats *Stats) error {
 			return fmt.Errorf("msq: seeding query %d: %w", st.q.ID, err)
 		}
 		stats.PageVisits++
+		var prof *explainCounters
+		if ex != nil {
+			prof = &ex.prof[pos[idx]]
+			prof.pagesVisited.Add(1)
+		}
 		for i := range page.Items {
 			// The live bound (a-priori MAXDIST bound, tightening as the
 			// list fills) lets later items on the seed page abandon early;
 			// an abandoned item could not have entered the list.
 			d, within := s.proc.metric.DistanceWithin(st.q.Vec, page.Items[i].Vec, st.queryDist())
+			if prof != nil {
+				prof.distCalcs.Add(1)
+				if !within {
+					prof.abandoned.Add(1)
+				}
+			}
 			if within {
 				st.answers.Consider(page.Items[i].ID, d)
 			}
@@ -492,6 +524,10 @@ type knownDist struct {
 // lockstep; the traced differential test pins that their answers and
 // avoidance counters are identical.
 func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+	if ex := s.explain; ex != nil {
+		s.processPageExplain(ex, page, active, activeIdx, matrix, stats, known, qds, raiseScratch)
+		return
+	}
 	if tr := s.proc.tracer; tr.Enabled() {
 		s.processPageTraced(tr, page, active, activeIdx, matrix, stats, known, qds, raiseScratch)
 		return
@@ -748,6 +784,12 @@ func (s *Session) MultiQueryAll(queries []Query) ([]*query.AnswerList, Stats, er
 func (s *Session) MultiQueryAllContext(ctx context.Context, queries []Query) ([]*query.AnswerList, Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.multiQueryAllLocked(ctx, queries)
+}
+
+// multiQueryAllLocked is MultiQueryAllContext's body; the caller holds
+// s.mu (ExplainAllContext shares it after attaching the explain state).
+func (s *Session) multiQueryAllLocked(ctx context.Context, queries []Query) ([]*query.AnswerList, Stats, error) {
 	tr := s.proc.tracer
 	traced := tr.Enabled()
 	var begin time.Time
@@ -761,9 +803,16 @@ func (s *Session) MultiQueryAllContext(ctx context.Context, queries []Query) ([]
 
 	var stats Stats
 	acct := s.beginAccounting()
+	var matrixStart time.Time
+	if s.explain != nil {
+		matrixStart = time.Now()
+	}
 	sp := tr.Start(obs.PhaseMatrix)
 	matrix := s.queryDistMatrix(queries, &stats)
 	sp.End()
+	if ex := s.explain; ex != nil {
+		ex.observe(obs.PhaseMatrix, time.Since(matrixStart))
+	}
 	pos := identityPositions(len(states))
 
 	record := func() {

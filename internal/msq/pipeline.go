@@ -176,6 +176,7 @@ func (s *Session) runPipeline(ctx context.Context, plan []engine.PageRef, states
 	first := states[0]
 	tr := s.proc.tracer
 	traced := tr.Enabled()
+	ex := s.explain
 
 	// Decide, from static state only, which plan references the prefetcher
 	// may read ahead of the coordinator. first.processed is snapshotted via
@@ -209,7 +210,7 @@ func (s *Session) runPipeline(ctx context.Context, plan []engine.PageRef, states
 		}
 		var page *store.Page
 		var waitStart time.Time
-		if traced {
+		if traced || ex != nil {
 			waitStart = time.Now()
 		}
 		if prefetchable[i] {
@@ -223,6 +224,9 @@ func (s *Session) runPipeline(ctx context.Context, plan []engine.PageRef, states
 			}
 			if traced {
 				tr.ObserveSince(obs.PhasePageWait, waitStart)
+			}
+			if ex != nil {
+				ex.observe(obs.PhasePageWait, time.Since(waitStart))
 			}
 			if f.err != nil {
 				return fmt.Errorf("msq: multiple query: %w", f.err)
@@ -242,6 +246,9 @@ func (s *Session) runPipeline(ctx context.Context, plan []engine.PageRef, states
 			if traced {
 				tr.ObserveSince(obs.PhasePageWait, waitStart)
 			}
+			if ex != nil {
+				ex.observe(obs.PhasePageWait, time.Since(waitStart))
+			}
 			if err != nil {
 				return fmt.Errorf("msq: multiple query: %w", err)
 			}
@@ -249,6 +256,11 @@ func (s *Session) runPipeline(ctx context.Context, plan []engine.PageRef, states
 
 		active, activePos = s.decideActive(ref.ID, states, pos, active, activePos)
 		stats.PageVisits += int64(len(active))
+		if ex != nil {
+			for _, p := range activePos {
+				ex.prof[p].pagesVisited.Add(1)
+			}
+		}
 
 		s.processPageConcurrent(pool, page, active, activePos, matrix, stats, width, scratch)
 
@@ -333,6 +345,72 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	pool.forEachChunk(nItems, width, func(worker, lo, hi int) {
 		known := scratch.known[worker][:0]
 		var localTries, localAvoided, localCalcs, localAbandoned int64
+		if ex := s.explain; ex != nil {
+			// Explain chunk twin: the same snapshot-pure decisions as the
+			// loops below, plus per-query profile attribution and the
+			// traced twin's avoid/kernel clock split. The known list is
+			// per item and chunking is by item ranges, so attribution is
+			// identical at every width >= 2. Keep in lockstep.
+			chunkStart := time.Now()
+			var avoidNs time.Duration
+			for it := lo; it < hi; it++ {
+				item := &page.Items[it]
+				row := dists[it*nActive : (it+1)*nActive]
+				known = known[:0]
+				for a := range active {
+					pos := activeIdx[a]
+					prof := &ex.prof[pos]
+					limit := snap[a]
+					if avoiding {
+						t0 := time.Now()
+						var pairTries int64
+						av, byL1 := s.avoidableExplain(snap[a], pos, known, matrix, &pairTries)
+						localTries += pairTries
+						prof.tries.Add(pairTries)
+						if av {
+							localAvoided++
+							if byL1 {
+								prof.lemma1.Add(1)
+							} else {
+								prof.lemma2.Add(1)
+							}
+							row[a] = skippedDist
+							avoidNs += time.Since(t0)
+							continue
+						}
+						limit = abandonLimit(snap[a], raise[a], len(known))
+						avoidNs += time.Since(t0)
+					}
+					d, within := kernel.DistanceWithin(active[a].q.Vec, item.Vec, limit)
+					localCalcs++
+					prof.distCalcs.Add(1)
+					if avoiding {
+						known = append(known, knownDist{d: d, idx: int32(pos)})
+					}
+					if within {
+						row[a] = d
+					} else {
+						row[a] = skippedDist
+						localAbandoned++
+						prof.abandoned.Add(1)
+					}
+				}
+			}
+			s.proc.metric.AddCalls(localCalcs, localAbandoned)
+			tries.Add(localTries)
+			avoided.Add(localAvoided)
+			kernelNs := time.Since(chunkStart) - avoidNs
+			if kernelNs < 0 {
+				kernelNs = 0
+			}
+			ex.observe(obs.PhaseAvoid, avoidNs)
+			ex.observe(obs.PhaseKernel, kernelNs)
+			if traced {
+				tr.Observe(obs.PhaseAvoid, avoidNs)
+				tr.Observe(obs.PhaseKernel, kernelNs)
+			}
+			return
+		}
 		if traced {
 			// Traced twin of the loop below: the same snapshot-pure
 			// decisions, plus clock reads that split the chunk's wall time
@@ -417,8 +495,9 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	stats.Avoided += avoided.Load()
 
 	pool.forEachChunk(nActive, width, func(_, lo, hi int) {
+		ex := s.explain
 		var mergeStart time.Time
-		if traced {
+		if traced || ex != nil {
 			mergeStart = time.Now()
 		}
 		for a := lo; a < hi; a++ {
@@ -433,6 +512,9 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 		}
 		if traced {
 			tr.ObserveSince(obs.PhaseMerge, mergeStart)
+		}
+		if ex != nil {
+			ex.observe(obs.PhaseMerge, time.Since(mergeStart))
 		}
 	})
 }

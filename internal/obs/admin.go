@@ -6,25 +6,54 @@ import (
 	"net/http/pprof"
 )
 
+// Endpoint is an extra admin route mounted by AdminHandler — the way a
+// binary (cmd/msqserver) adds process-specific views such as /debug/explain
+// without this package importing the query layer.
+type Endpoint struct {
+	Pattern string
+	Handler http.HandlerFunc
+}
+
 // AdminHandler serves the observability endpoints of one registry:
 //
-//	/metrics        Prometheus text exposition (phase histograms, gauges)
-//	/debug/traces   retained phase spans as JSONL, oldest first
-//	/debug/slow     slow-query log as JSON, oldest first
-//	/debug/pprof/*  the standard Go profiling endpoints
+//	/metrics             Prometheus text exposition (phase histograms with
+//	                     p50/p95/p99 summaries, gauges, counters)
+//	/debug/traces        retained phase spans as JSONL, oldest first
+//	/debug/traces?dist=1 retained distributed spans as JSONL, oldest first
+//	/debug/traces?trace=ID  one stitched cross-server trace as a JSON tree
+//	/debug/slow          slow-query log as JSON, oldest first
+//	/debug/pprof/*       the standard Go profiling endpoints
 //
-// The handler is read-only and safe to serve concurrently with query
-// processing; it is intended for a loopback or otherwise trusted admin
-// listener (cmd/msqserver's -admin flag), not for the query port.
-func AdminHandler(r *Registry) http.Handler {
+// plus any extra endpoints the caller mounts. The handler is read-only and
+// safe to serve concurrently with query processing; it is intended for a
+// loopback or otherwise trusted admin listener (cmd/msqserver's -admin
+// flag), not for the query port.
+func AdminHandler(r *Registry, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w) //nolint:errcheck // best effort on a live conn
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		t := r.Tracer()
+		if id := req.URL.Query().Get("trace"); id != "" {
+			tree := t.Trace(TraceID(id))
+			if tree == nil {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(tree) //nolint:errcheck // best effort on a live conn
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		r.Tracer().WriteTraces(w) //nolint:errcheck // best effort on a live conn
+		if req.URL.Query().Get("dist") != "" {
+			t.WriteDistTraces(w) //nolint:errcheck // best effort on a live conn
+			return
+		}
+		t.WriteTraces(w) //nolint:errcheck // best effort on a live conn
 	})
 	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -41,5 +70,8 @@ func AdminHandler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		mux.HandleFunc(e.Pattern, e.Handler)
+	}
 	return mux
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsQuantileSummaryLines(t *testing.T) {
+	tr := New(Config{})
+	for i := 0; i < 100; i++ {
+		tr.Observe(PhasePageFetch, time.Duration(i+1)*time.Microsecond)
+	}
+	_, body := get(t, NewRegistry(tr), "/metrics")
+	if !strings.Contains(body, "# TYPE "+PhaseQuantileMetric+" gauge") {
+		t.Fatalf("/metrics missing quantile family header:\n%s", body)
+	}
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		want := PhaseQuantileMetric + `{phase="page_fetch",quantile="` + q + `"}`
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Phases with no observations must not emit summary lines.
+	if strings.Contains(body, `{phase="kernel",quantile=`) {
+		t.Error("empty phase emitted quantile lines")
+	}
+}
+
+func TestRegistryAttachTracerLabels(t *testing.T) {
+	local := New(Config{})
+	local.Observe(PhaseKernel, time.Microsecond)
+	remote := New(Config{})
+	remote.Observe(PhaseKernel, time.Millisecond)
+
+	reg := NewRegistry(local)
+	reg.AttachTracer(`server="1"`, remote)
+	reg.AttachTracer(`server="2"`, nil) // ignored
+
+	_, body := get(t, reg, "/metrics")
+	for _, want := range []string{
+		PhaseHistogramMetric + `_count{phase="kernel"} 1`,
+		PhaseHistogramMetric + `_count{phase="kernel",server="1"} 1`,
+		PhaseQuantileMetric + `{phase="kernel",quantile="0.5",server="1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `server="2"`) {
+		t.Error("nil attached tracer produced output")
+	}
+}
+
+func TestMetricsDistSpansTotal(t *testing.T) {
+	tr := New(Config{})
+	tr.StartSpan("multi_all").End()
+	tr.ImportSpans([]DistSpan{{Trace: "t", Span: "s", Name: "request"}})
+	_, body := get(t, NewRegistry(tr), "/metrics")
+	if !strings.Contains(body, "metricdb_dist_spans_total 2") {
+		t.Errorf("/metrics missing dist span total:\n%s", body)
+	}
+}
+
+func TestAdminStitchedTraceEndpoint(t *testing.T) {
+	tr := New(Config{Node: "coordinator"})
+	root := tr.StartSpan("multi_all")
+	child := root.StartChild("server_call")
+	child.SetServer("srv0")
+	child.End()
+	root.End()
+	reg := NewRegistry(tr)
+
+	id := tr.TraceIDs()[0]
+	code, body := get(t, reg, "/debug/traces?trace="+string(id))
+	if code != 200 {
+		t.Fatalf("trace endpoint status %d", code)
+	}
+	var tree TraceNode
+	if err := json.Unmarshal([]byte(body), &tree); err != nil {
+		t.Fatalf("stitched trace is not JSON: %v", err)
+	}
+	if tree.Name != "multi_all" || len(tree.Children) != 1 || tree.Children[0].Node != "srv0" {
+		t.Errorf("stitched tree = %+v", tree)
+	}
+	if code, _ := get(t, reg, "/debug/traces?trace=deadbeefdeadbeef"); code != http.StatusNotFound {
+		t.Errorf("unknown trace id status %d, want 404", code)
+	}
+}
+
+func TestAdminDistTracesJSONL(t *testing.T) {
+	tr := New(Config{Node: "srv3"})
+	tr.StartSpan("request:explain").End()
+	code, body := get(t, NewRegistry(tr), "/debug/traces?dist=1")
+	if code != 200 {
+		t.Fatalf("dist traces status %d", code)
+	}
+	var span DistSpan
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &span); err != nil {
+		t.Fatalf("dist trace line is not JSON: %v: %q", err, body)
+	}
+	if span.Name != "request:explain" || span.Node != "srv3" {
+		t.Errorf("span = %+v", span)
+	}
+}
+
+func TestAdminExtraEndpoints(t *testing.T) {
+	h := AdminHandler(NewRegistry(nil), Endpoint{
+		Pattern: "/debug/custom",
+		Handler: func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("custom ok")) },
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/custom", nil))
+	if rec.Code != 200 || rec.Body.String() != "custom ok" {
+		t.Errorf("extra endpoint: status %d body %q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewIDFormat(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := newID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("id %q is not lowercase hex", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestStartSpanNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("root")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	// Every method must be a no-op on the nil span.
+	sp.SetServer("srv0")
+	sp.SetAttempt(2)
+	sp.SetErr("boom")
+	sp.End()
+	if ctx := sp.Context(); ctx.Valid() {
+		t.Error("nil span has a valid context")
+	}
+	if ch := sp.StartChild("child"); ch != nil {
+		t.Error("nil span spawned a child")
+	}
+	// Disabled span retention behaves like nil.
+	disabled := New(Config{TraceBufferSize: -1})
+	if sp := disabled.StartSpan("root"); sp != nil {
+		t.Error("tracer with disabled retention returned a live span")
+	}
+	disabled.ImportSpans([]DistSpan{{Trace: "t", Span: "s"}})
+	if n := disabled.DistSpansTotal(); n != 0 {
+		t.Errorf("disabled tracer retained %d spans", n)
+	}
+}
+
+func TestSpanParentChildLinkage(t *testing.T) {
+	tr := New(Config{Node: "coordinator"})
+	root := tr.StartSpan("multi_all")
+	child := root.StartChild("server_call")
+	child.SetServer("srv1")
+	child.SetAttempt(1)
+	child.End()
+	root.End()
+
+	spans := tr.DistSpans()
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	var rootSpan, childSpan DistSpan
+	for _, s := range spans {
+		switch s.Name {
+		case "multi_all":
+			rootSpan = s
+		case "server_call":
+			childSpan = s
+		}
+	}
+	if rootSpan.Parent != "" {
+		t.Errorf("root has parent %q", rootSpan.Parent)
+	}
+	if childSpan.Parent != rootSpan.Span || childSpan.Trace != rootSpan.Trace {
+		t.Errorf("child (trace %s parent %s) not under root (trace %s span %s)",
+			childSpan.Trace, childSpan.Parent, rootSpan.Trace, rootSpan.Span)
+	}
+	if childSpan.Node != "srv1" || childSpan.Attempt != 1 {
+		t.Errorf("child attributes = %+v", childSpan)
+	}
+	if rootSpan.DurNs <= 0 || childSpan.DurNs <= 0 {
+		t.Errorf("durations not recorded: root %d, child %d", rootSpan.DurNs, childSpan.DurNs)
+	}
+}
+
+func TestStartSpanFromInvalidParentStartsFreshTrace(t *testing.T) {
+	tr := New(Config{})
+	sp := tr.StartSpanFrom(SpanContext{}, "request")
+	sp.End()
+	spans := tr.DistSpans()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans, want 1", len(spans))
+	}
+	if spans[0].Trace == "" || spans[0].Span == "" || spans[0].Parent != "" {
+		t.Errorf("span from zero parent = %+v, want fresh root", spans[0])
+	}
+}
+
+func TestImportSpansAndStitch(t *testing.T) {
+	// The coordinator records root and two attempts; the remote server's
+	// subtree arrives via ImportSpans, as the wire layer delivers it.
+	tr := New(Config{Node: "coordinator"})
+	root := tr.StartSpan("multi_all")
+	a1 := root.StartChild("server_call")
+	a1.SetServer("srv0")
+	a1.SetAttempt(1)
+	a1.SetErr("injected fault")
+	a1.End()
+	a2 := root.StartChild("server_call")
+	a2.SetServer("srv0")
+	a2.SetAttempt(2)
+	remote := DistSpan{
+		Trace:       root.Span().Trace,
+		Span:        SpanID(newID()),
+		Parent:      a2.Span().Span,
+		Name:        "request:multi_all",
+		Node:        "srv0",
+		StartUnixNs: time.Now().UnixNano(),
+		DurNs:       1000,
+	}
+	tr.ImportSpans([]DistSpan{remote})
+	a2.End()
+	root.End()
+
+	ids := tr.TraceIDs()
+	if len(ids) != 1 {
+		t.Fatalf("TraceIDs = %v, want exactly one trace", ids)
+	}
+	tree := tr.Trace(ids[0])
+	if tree == nil || tree.Name != "multi_all" {
+		t.Fatalf("stitched root = %+v", tree)
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("root has %d children, want the 2 attempts", len(tree.Children))
+	}
+	// Siblings are ordered by start time: the failed attempt first.
+	if tree.Children[0].Attempt != 1 || tree.Children[0].Err == "" {
+		t.Errorf("first sibling = %+v, want failed attempt 1", tree.Children[0].DistSpan)
+	}
+	if tree.Children[1].Attempt != 2 || len(tree.Children[1].Children) != 1 {
+		t.Fatalf("second sibling = %+v, want attempt 2 carrying the remote subtree", tree.Children[1].DistSpan)
+	}
+	if got := tree.Children[1].Children[0]; got.Node != "srv0" || got.Name != "request:multi_all" {
+		t.Errorf("remote child = %+v", got.DistSpan)
+	}
+}
+
+func TestStitchTraceOrphans(t *testing.T) {
+	// Spans whose parents were evicted from the ring must still appear: a
+	// single orphan becomes the root, several group under a synthetic one.
+	one := []DistSpan{
+		{Trace: "t1", Span: "a", Parent: "gone", Name: "lost", StartUnixNs: 10},
+	}
+	if tree := StitchTrace(one, "t1"); tree == nil || tree.Name != "lost" {
+		t.Errorf("single orphan tree = %+v, want the orphan as root", tree)
+	}
+	two := append(one, DistSpan{Trace: "t1", Span: "b", Parent: "gone2", Name: "later", StartUnixNs: 20})
+	tree := StitchTrace(two, "t1")
+	if tree == nil || tree.Name != "(stitched)" || len(tree.Children) != 2 {
+		t.Fatalf("multi-orphan tree = %+v, want synthetic root with 2 children", tree)
+	}
+	if tree.Children[0].Name != "lost" || tree.Children[1].Name != "later" {
+		t.Errorf("orphans not in start order: %+v", tree.Children)
+	}
+	if StitchTrace(one, "absent") != nil {
+		t.Error("unknown trace id yielded a tree")
+	}
+}
+
+func TestDistRingBounded(t *testing.T) {
+	tr := New(Config{TraceBufferSize: 4})
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s").End()
+	}
+	if got := len(tr.DistSpans()); got != 4 {
+		t.Errorf("ring holds %d spans, want 4", got)
+	}
+	if got := tr.DistSpansTotal(); got != 10 {
+		t.Errorf("total = %d, want 10", got)
+	}
+}
+
+func TestDistSpanJSONRoundTrip(t *testing.T) {
+	tr := New(Config{Node: "srv2"})
+	sp := tr.StartSpan("request:explain")
+	sp.SetErr("deadline")
+	sp.End()
+	data, err := json.Marshal(tr.DistSpans()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DistSpan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "request:explain" || back.Node != "srv2" || back.Err != "deadline" {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestHistSnapshotSubAndMerge(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)
+	h.Observe(time.Microsecond)
+	before := h.Snapshot()
+	h.Observe(time.Millisecond)
+	h.Observe(time.Microsecond)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", delta.Count)
+	}
+	if delta.SumNs != time.Millisecond.Nanoseconds()+time.Microsecond.Nanoseconds() {
+		t.Errorf("delta sum = %d", delta.SumNs)
+	}
+	// Folding the delta into a second tracer reproduces the new work.
+	tr := New(Config{})
+	tr.MergeSnapshot(PhaseKernel, delta)
+	got := tr.Snapshot(PhaseKernel)
+	if got.Count != 2 || got.SumNs != delta.SumNs {
+		t.Errorf("merged snapshot = %+v, want the delta", got)
+	}
+	// Empty deltas and nil tracers are no-ops.
+	tr.MergeSnapshot(PhaseKernel, HistSnapshot{})
+	if tr.Snapshot(PhaseKernel).Count != 2 {
+		t.Error("empty delta changed the histogram")
+	}
+	var nilTr *Tracer
+	nilTr.MergeSnapshot(PhaseKernel, delta)
+}
+
+func TestWriteDistTraces(t *testing.T) {
+	tr := New(Config{Node: "coordinator"})
+	tr.StartSpan("multi_all").End()
+	var sb strings.Builder
+	if _, err := tr.WriteDistTraces(&sb); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(sb.String())
+	var span DistSpan
+	if err := json.Unmarshal([]byte(line), &span); err != nil {
+		t.Fatalf("dist trace line is not JSON: %v: %q", err, line)
+	}
+	if span.Name != "multi_all" || span.Node != "coordinator" {
+		t.Errorf("span = %+v", span)
+	}
+}

@@ -114,8 +114,13 @@ type Config struct {
 	SlowLogSize int
 	// TraceBufferSize bounds the span ring served by /debug/traces and
 	// WriteTraces (0: DefaultTraceBufferSize; negative disables span
-	// retention, keeping only the histograms).
+	// retention, keeping only the histograms). The same size bounds the
+	// distributed-span ring (StartSpan/ImportSpans).
 	TraceBufferSize int
+	// Node labels every distributed span this tracer records, so spans
+	// stitched across processes identify their origin ("coordinator",
+	// "srv2", ...). Empty leaves spans unlabelled.
+	Node string
 }
 
 // Defaults for Config's zero values.
@@ -130,8 +135,10 @@ const (
 // concurrent use: histograms are atomic, the rings are mutex-guarded.
 type Tracer struct {
 	start   time.Time
+	node    string
 	hist    [NumPhases]Histogram
 	spans   *spanRing
+	dist    *distRing
 	slow    *SlowLog
 	queries atomic.Int64 // query calls observed via RecordQuery
 }
@@ -148,14 +155,23 @@ func New(cfg Config) *Tracer {
 	if cfg.TraceBufferSize == 0 {
 		cfg.TraceBufferSize = DefaultTraceBufferSize
 	}
-	t := &Tracer{start: time.Now()}
+	t := &Tracer{start: time.Now(), node: cfg.Node}
 	if cfg.SlowQueryThreshold > 0 {
 		t.slow = newSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogSize)
 	}
 	if cfg.TraceBufferSize > 0 {
 		t.spans = newSpanRing(cfg.TraceBufferSize)
+		t.dist = newDistRing(cfg.TraceBufferSize)
 	}
 	return t
+}
+
+// Node returns the tracer's node label ("" on nil tracers).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
 }
 
 // Enabled reports whether the tracer is live. Hot loops hoist this test

@@ -163,7 +163,16 @@ type Config struct {
 	// Tracer, when non-nil, is installed on every server's processor and
 	// pager, and additionally receives one server_call span per server
 	// attempt from the cluster fan-out. Nil disables tracing at no cost.
+	// When the tracer retains distributed spans, every cluster operation
+	// records a root span with one child span per server attempt (retries
+	// are sibling attempt spans), viewable stitched at /debug/traces.
 	Tracer *obs.Tracer
+	// ServerTracers, when non-empty, must hold one tracer per server;
+	// server i's processor and pager then report to ServerTracers[i]
+	// instead of Tracer, so per-server phase costs stay separable. The
+	// coordinator-side spans still go to Tracer. RegisterMetrics exposes
+	// the per-server histograms under server="i" labels.
+	ServerTracers []*obs.Tracer
 }
 
 // server is one shared-nothing node.
@@ -190,6 +199,10 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 	}
 	if cfg.Dim < 1 {
 		return nil, fmt.Errorf("parallel: dimension must be >= 1, got %d", cfg.Dim)
+	}
+	if len(cfg.ServerTracers) != 0 && len(cfg.ServerTracers) != cfg.Servers {
+		return nil, fmt.Errorf("parallel: ServerTracers must hold one tracer per server (%d), got %d",
+			cfg.Servers, len(cfg.ServerTracers))
 	}
 	parts, err := Decluster(items, cfg.Servers, cfg.Strategy, cfg.Seed)
 	if err != nil {
@@ -242,7 +255,12 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parallel: server %d: %w", i, err)
 		}
-		if cfg.Tracer != nil {
+		switch {
+		case len(cfg.ServerTracers) > 0:
+			if cfg.ServerTracers[i] != nil {
+				proc = proc.WithTracer(cfg.ServerTracers[i])
+			}
+		case cfg.Tracer != nil:
 			proc = proc.WithTracer(cfg.Tracer)
 		}
 		c.servers[i] = &server{proc: proc, eng: eng}
@@ -376,6 +394,13 @@ func (c *Cluster) MultiQueryAllContext(ctx context.Context, queries []msq.Query)
 	perServer := make([][]*query.AnswerList, len(c.servers))
 	errs := make([]error, len(c.servers))
 
+	// The batch's root distributed span: every server attempt records a
+	// child span under it, so retries show up as sibling attempt spans of
+	// one trace. Nil tracers (or disabled span retention) make root nil
+	// and every span call below a no-op.
+	root := c.cfg.Tracer.StartSpan("multi_all")
+	defer root.End()
+
 	var wg sync.WaitGroup
 	for i, srv := range c.servers {
 		wg.Add(1)
@@ -400,10 +425,17 @@ func (c *Cluster) MultiQueryAllContext(ctx context.Context, queries []msq.Query)
 					}
 				}
 				attempts++
+				span := root.StartChild("server_call")
+				span.SetServer(fmt.Sprintf("srv%d", i))
+				span.SetAttempt(attempts)
 				start := time.Now()
 				res, st, err := c.callServer(ctx, srv, queries)
 				lastLatency = time.Since(start)
 				c.cfg.Tracer.Observe(obs.PhaseServerCall, lastLatency)
+				if err != nil {
+					span.SetErr(err.Error())
+				}
+				span.End()
 				if err == nil {
 					perServer[i] = res
 					st.Health = ServerHealth{OK: true, Attempts: attempts, Latency: lastLatency}
@@ -507,6 +539,43 @@ func (c *Cluster) SingleContext(ctx context.Context, q vec.Vector, t query.Type)
 		return nil, rep, err
 	}
 	return res[0], rep, nil
+}
+
+// RegisterMetrics registers the cluster's per-server live counters on reg
+// under server="i" labels — disk reads, buffer-pool hits/misses/evictions,
+// and distance-calculation totals — and, when Config.ServerTracers is set,
+// attaches each server's tracer so its phase histograms (with p50/p95/p99
+// summaries) appear in the same exposition. One scrape of the coordinator's
+// registry then covers the whole cluster.
+func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
+	for i, srv := range c.servers {
+		labels := fmt.Sprintf("server=%q", fmt.Sprint(i))
+		pager := srv.eng.Pager()
+		metric := srv.proc.Metric()
+		reg.Counter("metricdb_server_disk_reads_total", labels,
+			"Simulated-disk page reads on one server.",
+			func() float64 { return float64(pager.Disk().Stats().Reads) })
+		reg.Counter("metricdb_server_dist_calcs_total", labels,
+			"Object distance calculations on one server.",
+			func() float64 { return float64(metric.Count()) })
+		reg.Counter("metricdb_server_dist_abandoned_total", labels,
+			"Early-abandoned distance calculations on one server.",
+			func() float64 { return float64(metric.Abandoned()) })
+		if buf := pager.Buffer(); buf != nil {
+			reg.Counter("metricdb_server_buffer_hits_total", labels,
+				"Buffer-pool hits on one server.",
+				func() float64 { h, _, _ := buf.HitRate(); return float64(h) })
+			reg.Counter("metricdb_server_buffer_misses_total", labels,
+				"Buffer-pool misses on one server.",
+				func() float64 { _, m, _ := buf.HitRate(); return float64(m) })
+			reg.Counter("metricdb_server_buffer_evictions_total", labels,
+				"Buffer-pool LRU evictions on one server.",
+				func() float64 { return float64(buf.Evictions()) })
+		}
+		if i < len(c.cfg.ServerTracers) && c.cfg.ServerTracers[i] != nil {
+			reg.AttachTracer(labels, c.cfg.ServerTracers[i])
+		}
+	}
 }
 
 func diffIO(after, before store.IOStats) store.IOStats {

@@ -13,12 +13,13 @@ import (
 // that HitRate can be sampled without contending with readers on the LRU
 // lock while a query pipeline is running.
 type Buffer struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recently used; values are PageID
-	entries  map[PageID]*bufferEntry
-	hits     atomic.Int64
-	misses   atomic.Int64
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are PageID
+	entries   map[PageID]*bufferEntry
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type bufferEntry struct {
@@ -82,6 +83,7 @@ func (b *Buffer) Put(pid PageID, p *Page) {
 		if oldest != nil {
 			b.order.Remove(oldest)
 			delete(b.entries, oldest.Value.(PageID))
+			b.evictions.Add(1)
 		}
 	}
 	elem := b.order.PushFront(pid)
@@ -108,6 +110,10 @@ func (b *Buffer) HitRate() (hits, misses int64, ratio float64) {
 	return h, m, float64(h) / float64(h+m)
 }
 
+// Evictions returns the number of LRU evictions since creation (or the last
+// Clear). Like HitRate it never takes the LRU lock.
+func (b *Buffer) Evictions() int64 { return b.evictions.Load() }
+
 // Clear empties the buffer and resets hit statistics.
 func (b *Buffer) Clear() {
 	b.mu.Lock()
@@ -116,4 +122,5 @@ func (b *Buffer) Clear() {
 	b.entries = make(map[PageID]*bufferEntry)
 	b.hits.Store(0)
 	b.misses.Store(0)
+	b.evictions.Store(0)
 }

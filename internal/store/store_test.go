@@ -254,6 +254,18 @@ func TestBufferLRU(t *testing.T) {
 	if ratio != 0.6 {
 		t.Errorf("ratio = %v, want 0.6", ratio)
 	}
+	if ev := b.Evictions(); ev != 1 {
+		t.Errorf("Evictions = %d, want 1 (page 1 evicted by page 2)", ev)
+	}
+	// Refreshing a resident page must not count as an eviction.
+	b.Put(0, p0)
+	if ev := b.Evictions(); ev != 1 {
+		t.Errorf("Evictions after refresh = %d, want 1", ev)
+	}
+	b.Clear()
+	if ev := b.Evictions(); ev != 0 {
+		t.Errorf("Evictions after Clear = %d, want 0", ev)
+	}
 }
 
 func TestBufferEdgeCases(t *testing.T) {

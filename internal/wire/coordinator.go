@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"metricdb/internal/msq"
+	"metricdb/internal/obs"
+	"metricdb/internal/query"
+	"metricdb/internal/store"
+)
+
+// Coordinator is the cross-process counterpart of parallel.Cluster: it fans
+// a batch out to a set of wire servers (one partition each), merges the
+// per-server answers by the union-merge property, and aggregates stats —
+// including the per-server health latency the stats op reports. When its
+// tracer retains distributed spans, every operation records a root span
+// with one child span per server attempt (retries as sibling attempt
+// spans), propagates the span context in Request.Trace, and stitches the
+// servers' returned span subtrees into one cross-server trace; the
+// servers' phase-histogram deltas are merged into per-server tracers so a
+// coordinator-side registry scrape covers the cluster.
+//
+// Connections are per attempt: the line protocol cannot retract a request
+// already on the wire, so a fresh dial per attempt keeps a timed-out or
+// failed attempt from poisoning later ones.
+type Coordinator struct {
+	cfg CoordinatorConfig
+}
+
+// CoordinatorConfig tunes a Coordinator.
+type CoordinatorConfig struct {
+	// Addrs lists the servers, one partition each.
+	Addrs []string
+	// Timeout bounds one server attempt (dial + round trip); zero means
+	// no per-attempt bound beyond the operation context.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a failed or
+	// timed-out server call.
+	Retries int
+	// Backoff is the wait before the first retry, doubling on each
+	// subsequent one.
+	Backoff time.Duration
+	// Degrade allows partial results: servers that still fail after all
+	// retries are dropped from the merge and the stats report coverage
+	// < 1 instead of the operation failing.
+	Degrade bool
+	// Tracer, when non-nil, records the coordinator-side spans (root +
+	// per-attempt server_call children, plus the server_call phase
+	// histogram) and receives the servers' imported span subtrees.
+	Tracer *obs.Tracer
+	// ServerTracers, when non-empty, must hold one tracer per address;
+	// server i's returned phase-histogram deltas are merged into
+	// ServerTracers[i], keeping per-server phase costs separable for a
+	// labelled registry exposition (obs.Registry.AttachTracer). Empty
+	// merges the deltas into Tracer instead.
+	ServerTracers []*obs.Tracer
+}
+
+// NewCoordinator validates the configuration.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("wire: coordinator needs at least one server address")
+	}
+	if len(cfg.ServerTracers) != 0 && len(cfg.ServerTracers) != len(cfg.Addrs) {
+		return nil, fmt.Errorf("wire: ServerTracers must hold one tracer per address (%d), got %d",
+			len(cfg.Addrs), len(cfg.ServerTracers))
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("wire: negative retries")
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+// Servers returns the number of servers the coordinator fans out to.
+func (c *Coordinator) Servers() int { return len(c.cfg.Addrs) }
+
+// RegisterMetrics attaches the per-server tracers to reg under server="i"
+// labels, so the phase deltas merged from the servers' responses appear in
+// one exposition (the coordinator metrics aggregation).
+func (c *Coordinator) RegisterMetrics(reg *obs.Registry) {
+	for i, tr := range c.cfg.ServerTracers {
+		if tr != nil {
+			reg.AttachTracer(fmt.Sprintf("server=%q", fmt.Sprint(i)), tr)
+		}
+	}
+}
+
+// serverResult is one server's final outcome within an operation.
+type serverResult struct {
+	resp   Response
+	health ServerHealth
+	err    error
+}
+
+// MultiAll fans the batch out to every server, evaluates it to completion,
+// and merges the answers.
+func (c *Coordinator) MultiAll(qs []QuerySpec) ([][]Answer, Stats, error) {
+	return c.MultiAllContext(context.Background(), qs)
+}
+
+// MultiAllContext is MultiAll bounded by ctx. The returned Stats sum the
+// servers' work and carry per-server health (attempts, final error,
+// final-attempt latency) plus the degraded-coverage state when
+// Config.Degrade admits partial results.
+func (c *Coordinator) MultiAllContext(ctx context.Context, qs []QuerySpec) ([][]Answer, Stats, error) {
+	results, root := c.fanOut(ctx, Request{Op: OpMultiAll, Queries: qs})
+	defer root.End()
+
+	stats, firstErr, firstIdx, covered := c.aggregate(results)
+	if firstErr != nil && (!c.cfg.Degrade || covered == 0) {
+		root.SetErr(firstErr.Error())
+		return nil, stats, fmt.Errorf("wire: coordinator: server %d: %w", firstIdx, firstErr)
+	}
+
+	merged, err := mergeAnswers(qs, results)
+	if err != nil {
+		root.SetErr(err.Error())
+		return nil, stats, err
+	}
+	return merged, stats, nil
+}
+
+// fanOut runs one request on every server concurrently with per-server
+// retry/backoff/timeout, under a root distributed span. Each attempt dials
+// a fresh connection, carries the attempt span's context in Request.Trace,
+// and imports the server's returned span subtree; phase deltas are merged
+// into the per-server tracers.
+func (c *Coordinator) fanOut(ctx context.Context, req Request) ([]serverResult, *obs.ActiveSpan) {
+	root := c.cfg.Tracer.StartSpan("coordinator:" + string(req.Op))
+	results := make([]serverResult, len(c.cfg.Addrs))
+
+	var wg sync.WaitGroup
+	for i, addr := range c.cfg.Addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			attempts := 0
+			backoff := c.cfg.Backoff
+			var lastErr error
+			var lastLatency time.Duration
+			for try := 0; try <= c.cfg.Retries; try++ {
+				if try > 0 {
+					if backoff > 0 {
+						select {
+						case <-time.After(backoff):
+						case <-ctx.Done():
+						}
+						backoff *= 2
+					}
+					if err := ctx.Err(); err != nil {
+						lastErr = err
+						break
+					}
+				}
+				attempts++
+				span := root.StartChild("server_call")
+				span.SetServer(fmt.Sprintf("srv%d", i))
+				span.SetAttempt(attempts)
+				start := time.Now()
+				resp, err := c.callServer(ctx, addr, req, span)
+				lastLatency = time.Since(start)
+				c.cfg.Tracer.Observe(obs.PhaseServerCall, lastLatency)
+				if err != nil {
+					span.SetErr(err.Error())
+				}
+				span.End()
+				if err == nil {
+					c.absorbTrace(i, resp.Trace)
+					results[i] = serverResult{
+						resp:   resp,
+						health: ServerHealth{OK: true, Attempts: attempts, LatencyNs: int64(lastLatency)},
+					}
+					return
+				}
+				lastErr = err
+				if ctx.Err() != nil {
+					break // canceled: further retries cannot succeed
+				}
+			}
+			results[i] = serverResult{
+				health: ServerHealth{Attempts: attempts, Err: lastErr.Error(), LatencyNs: int64(lastLatency)},
+				err:    lastErr,
+			}
+		}(i, addr)
+	}
+	wg.Wait()
+	return results, root
+}
+
+// callServer runs one attempt: fresh dial, request with the attempt span's
+// trace context, one round trip, close.
+func (c *Coordinator) callServer(ctx context.Context, addr string, req Request, span *obs.ActiveSpan) (Response, error) {
+	attemptCtx := ctx
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		return Response{}, err
+	}
+	defer client.Close()
+	if deadline, ok := attemptCtx.Deadline(); ok {
+		client.conn.SetDeadline(deadline) //nolint:errcheck
+	}
+	if sc := span.Context(); sc.Valid() {
+		r := req // shallow copy; Queries is shared read-only
+		r.Trace = &sc
+		req = r
+	}
+	return client.DoContext(attemptCtx, req)
+}
+
+// absorbTrace stitches a server's span subtree into the coordinator's
+// tracer and merges its phase deltas into the per-server tracer (or the
+// coordinator tracer when no per-server tracers are configured).
+func (c *Coordinator) absorbTrace(i int, info *TraceInfo) {
+	if info == nil {
+		return
+	}
+	c.cfg.Tracer.ImportSpans(info.Spans)
+	target := c.cfg.Tracer
+	if i < len(c.cfg.ServerTracers) && c.cfg.ServerTracers[i] != nil {
+		target = c.cfg.ServerTracers[i]
+	}
+	if target == nil || len(info.Phases) == 0 {
+		return
+	}
+	names := obs.PhaseNames()
+	for p, name := range names {
+		if snap, ok := info.Phases[name]; ok {
+			target.MergeSnapshot(obs.Phase(p), snap)
+		}
+	}
+}
+
+// aggregate sums the servers' stats, collects per-server health, and
+// derives the coverage state.
+func (c *Coordinator) aggregate(results []serverResult) (stats Stats, firstErr error, firstIdx, covered int) {
+	stats.Coverage = 1
+	stats.PerServer = make([]ServerHealth, len(results))
+	firstIdx = -1
+	for i, r := range results {
+		stats.PerServer[i] = r.health
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr, firstIdx = r.err, i
+			}
+			continue
+		}
+		covered++
+		st := r.resp.Stats
+		stats.Queries += st.Queries
+		stats.PagesRead += st.PagesRead
+		stats.DistCalcs += st.DistCalcs
+		stats.MatrixDistCalcs += st.MatrixDistCalcs
+		stats.AvoidTries += st.AvoidTries
+		stats.Avoided += st.Avoided
+		stats.PartialAbandoned += st.PartialAbandoned
+	}
+	if len(results) > 0 {
+		stats.Coverage = float64(covered) / float64(len(results))
+		stats.Degraded = covered < len(results)
+	}
+	return stats, firstErr, firstIdx, covered
+}
+
+// mergeAnswers merges the surviving servers' per-query answer lists via
+// the union-merge property: every server returns (at least) its local top
+// answers, so feeding them all through one answer list per query yields
+// the global result (a sound subset under degradation).
+func mergeAnswers(qs []QuerySpec, results []serverResult) ([][]Answer, error) {
+	merged := make([][]Answer, len(qs))
+	for qi, spec := range qs {
+		t, err := spec.toType()
+		if err != nil {
+			return nil, fmt.Errorf("wire: coordinator: %w", err)
+		}
+		l := query.NewAnswerList(t)
+		for si := range results {
+			if results[si].err != nil {
+				continue
+			}
+			if len(results[si].resp.Answers) != len(qs) {
+				return nil, fmt.Errorf("%w: server %d returned %d answer lists for %d queries",
+					ErrMalformedResponse, si, len(results[si].resp.Answers), len(qs))
+			}
+			for _, a := range results[si].resp.Answers[qi] {
+				l.Consider(store.ItemID(a.ID), a.Dist)
+			}
+		}
+		merged[qi] = toWireAnswers(l.Answers())
+	}
+	return merged, nil
+}
+
+// Explain fans an explain request out to every server and returns the
+// per-server profiles (indexed by server; failed servers hold nil). The
+// aggregated Stats carry per-server health like MultiAllContext.
+func (c *Coordinator) Explain(ctx context.Context, qs []QuerySpec) ([]*msq.Explain, Stats, error) {
+	results, root := c.fanOut(ctx, Request{Op: OpExplain, Queries: qs})
+	defer root.End()
+	stats, firstErr, firstIdx, covered := c.aggregate(results)
+	if firstErr != nil && (!c.cfg.Degrade || covered == 0) {
+		root.SetErr(firstErr.Error())
+		return nil, stats, fmt.Errorf("wire: coordinator: server %d: %w", firstIdx, firstErr)
+	}
+	out := make([]*msq.Explain, len(results))
+	for i, r := range results {
+		if r.err == nil {
+			out[i] = r.resp.Explain
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,410 @@
+package wire
+
+import (
+	"context"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/fault"
+	"metricdb/internal/msq"
+	"metricdb/internal/obs"
+	"metricdb/internal/parallel"
+	"metricdb/internal/scan"
+	"metricdb/internal/store"
+	"metricdb/internal/vec"
+)
+
+// startPartitionedServers declusters one dataset round-robin over n wire
+// servers and returns their addresses plus the full item set for reference
+// answers. wrap, when non-nil, interposes on each partition's storage;
+// tracers, when non-empty, installs tracers[i] on server i's processor and
+// wire layer.
+func startPartitionedServers(t *testing.T, n int, wrap func(server int, src store.PageSource) (store.PageSource, error), tracers []*obs.Tracer) (addrs []string, items []store.Item) {
+	t.Helper()
+	const dim = 3
+	items = dataset.Uniform(17, 360, dim)
+	parts, err := parallel.Decluster(items, n, parallel.RoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, part := range parts {
+		cfg := scan.Config{PageCapacity: 16}
+		if wrap != nil {
+			si := i
+			cfg.WrapDisk = func(src store.PageSource) (store.PageSource, error) { return wrap(si, src) }
+		}
+		eng, err := scan.NewWithConfig(part, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, err := msq.New(eng, vec.Euclidean{}, msq.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scfg ServerConfig
+		if len(tracers) > 0 && tracers[i] != nil {
+			proc = proc.WithTracer(tracers[i])
+			scfg.Tracer = tracers[i]
+		}
+		srv, err := NewServerWithConfig(proc, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(lis) //nolint:errcheck // ends with net.ErrClosed on shutdown
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, lis.Addr().String())
+	}
+	return addrs, items
+}
+
+// coordSpecs is a mixed range/k-NN batch over the partitioned dataset.
+func coordSpecs(items []store.Item) []QuerySpec {
+	return []QuerySpec{
+		{ID: 1, Vector: items[5].Vec, Kind: "knn", K: 4},
+		{ID: 2, Vector: items[23].Vec, Kind: "range", Range: 0.35},
+		{ID: 3, Vector: items[77].Vec, Kind: "knn", K: 6},
+	}
+}
+
+// refAnswers computes the fault-free single-node answers for the batch.
+func refAnswers(t *testing.T, items []store.Item, specs []QuerySpec) [][]Answer {
+	t.Helper()
+	eng, err := scan.New(items, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := msq.New(eng, vec.Euclidean{}, msq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []msq.Query
+	for _, s := range specs {
+		typ, err := s.toType()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, msq.Query{ID: s.ID, Vec: s.Vector, Type: typ})
+	}
+	lists, _, err := proc.MultiQuery(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]Answer, len(lists))
+	for i, l := range lists {
+		for _, a := range l.Answers() {
+			out[i] = append(out[i], Answer{ID: uint64(a.ID), Dist: a.Dist})
+		}
+	}
+	return out
+}
+
+func sameCoordAnswers(a, b [][]Answer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j].ID != b[i][j].ID || math.Abs(a[i][j].Dist-b[i][j].Dist) > 1e-12 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorConfig{}); err == nil {
+		t.Error("empty address list accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Addrs: []string{"a", "b"},
+		ServerTracers: []*obs.Tracer{nil}}); err == nil {
+		t.Error("mismatched ServerTracers accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Addrs: []string{"a"}, Retries: -1}); err == nil {
+		t.Error("negative retries accepted")
+	}
+}
+
+// TestCoordinatorUnionMerge: the coordinator's merged answers over a
+// partitioned cluster equal the single-node answers, and the stats carry
+// per-server health with measured latency (the stats-op fix).
+func TestCoordinatorUnionMerge(t *testing.T) {
+	addrs, items := startPartitionedServers(t, 3, nil, nil)
+	specs := coordSpecs(items)
+	c, err := NewCoordinator(CoordinatorConfig{Addrs: addrs, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := c.MultiAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refAnswers(t, items, specs); !sameCoordAnswers(got, want) {
+		t.Errorf("merged answers differ from single-node reference")
+	}
+	if stats.Degraded || stats.Coverage != 1 {
+		t.Errorf("healthy cluster reported degraded stats: %+v", stats)
+	}
+	if len(stats.PerServer) != len(addrs) {
+		t.Fatalf("PerServer has %d entries for %d servers", len(stats.PerServer), len(addrs))
+	}
+	for i, h := range stats.PerServer {
+		if !h.OK || h.Attempts != 1 {
+			t.Errorf("server %d health = %+v", i, h)
+		}
+		if h.LatencyNs <= 0 {
+			t.Errorf("server %d latency not measured: %+v", i, h)
+		}
+	}
+}
+
+// TestCoordinatorTraceAcrossRetries (satellite S3): a transient fault on
+// one server appears in the stitched cross-server trace as a failed
+// attempt span with a retry sibling, the retry carrying the server-side
+// request span; the servers' phase deltas land in the per-server tracers
+// and a coordinator scrape exposes them under server labels.
+func TestCoordinatorTraceAcrossRetries(t *testing.T) {
+	const servers = 3
+	serverTrs := make([]*obs.Tracer, servers)
+	for i := range serverTrs {
+		serverTrs[i] = obs.New(obs.Config{SlowQueryThreshold: -1, Node: "srv" + string(rune('0'+i))})
+	}
+	wrap := func(server int, src store.PageSource) (store.PageSource, error) {
+		if server != 0 {
+			return src, nil
+		}
+		return fault.Wrap(src, fault.Config{ErrProb: 1, MaxFaults: 1})
+	}
+	addrs, items := startPartitionedServers(t, servers, wrap, serverTrs)
+	specs := coordSpecs(items)
+
+	coordTr := obs.New(obs.Config{SlowQueryThreshold: -1, Node: "coordinator"})
+	coordSide := make([]*obs.Tracer, servers)
+	for i := range coordSide {
+		coordSide[i] = obs.New(obs.Config{SlowQueryThreshold: -1})
+	}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Addrs: addrs, Timeout: 30 * time.Second, Retries: 2,
+		Tracer: coordTr, ServerTracers: coordSide,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := c.MultiAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded {
+		t.Fatalf("transient fault left the result degraded: %+v", stats)
+	}
+	if want := refAnswers(t, items, specs); !sameCoordAnswers(got, want) {
+		t.Error("answers after a recovered fault differ from the reference")
+	}
+	if h := stats.PerServer[0]; !h.OK || h.Attempts != 2 {
+		t.Errorf("faulted server health = %+v, want OK after 2 attempts", h)
+	}
+
+	ids := coordTr.TraceIDs()
+	if len(ids) != 1 {
+		t.Fatalf("TraceIDs = %v, want one trace for one operation", ids)
+	}
+	tree := coordTr.Trace(ids[0])
+	if tree == nil || tree.Name != "coordinator:multi_all" {
+		t.Fatalf("stitched root = %+v", tree)
+	}
+	if len(tree.Children) != servers+1 {
+		t.Fatalf("root has %d children, want %d server calls (one retry)", len(tree.Children), servers+1)
+	}
+	var failed, retries, remote int
+	for _, ch := range tree.Children {
+		if ch.Name != "server_call" {
+			t.Errorf("child %q, want server_call", ch.Name)
+		}
+		if ch.Err != "" {
+			failed++
+			if ch.Node != "srv0" || ch.Attempt != 1 || len(ch.Children) != 0 {
+				t.Errorf("failed attempt = %+v, want bare srv0 attempt 1", ch.DistSpan)
+			}
+		}
+		if ch.Attempt > 1 {
+			retries++
+		}
+		for _, g := range ch.Children {
+			if strings.HasPrefix(g.Name, "request:") && g.Node != "" && g.Node != "coordinator" {
+				remote++
+			}
+		}
+	}
+	if failed != 1 || retries != 1 {
+		t.Errorf("trace shows %d failed / %d retry spans, want 1 / 1", failed, retries)
+	}
+	if remote != servers {
+		t.Errorf("trace carries %d server-side request spans, want %d", remote, servers)
+	}
+
+	// The servers' phase deltas were merged coordinator-side per server.
+	for i, tr := range coordSide {
+		if tr.Snapshot(obs.PhaseKernel).Count == 0 {
+			t.Errorf("server %d phase deltas not merged", i)
+		}
+	}
+	reg := obs.NewRegistry(coordTr)
+	c.RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), obs.PhaseHistogramMetric+`_count{phase="kernel",server="0"}`) {
+		t.Error("coordinator scrape missing server-labeled kernel histogram")
+	}
+}
+
+// TestCoordinatorDegradedDeadServer: with Degrade set, a permanently
+// unreachable server is dropped from the merge after its retries; the
+// result is a sound subset and the stats say so.
+func TestCoordinatorDegradedDeadServer(t *testing.T) {
+	addrs, items := startPartitionedServers(t, 3, nil, nil)
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close() // nothing listens here any more
+	addrs[1] = deadAddr
+
+	specs := coordSpecs(items)
+	c, err := NewCoordinator(CoordinatorConfig{
+		Addrs: addrs, Timeout: 5 * time.Second, Retries: 1, Degrade: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := c.MultiAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Degraded || stats.Coverage >= 1 {
+		t.Errorf("dead server not reflected in stats: %+v", stats)
+	}
+	if h := stats.PerServer[1]; h.OK || h.Attempts != 2 || h.Err == "" {
+		t.Errorf("dead server health = %+v, want 2 failed attempts", h)
+	}
+	// The degraded result is exactly the fault-free result over the
+	// surviving partitions (k-NN becomes bounded-k-NN over them).
+	parts, err := parallel.Decluster(items, 3, parallel.RoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surviving := append(append([]store.Item(nil), parts[0]...), parts[2]...)
+	if want := refAnswers(t, surviving, specs); !sameCoordAnswers(got, want) {
+		t.Error("degraded answers differ from the surviving-partition reference")
+	}
+
+	// Without Degrade the same cluster fails the whole operation.
+	strict, err := NewCoordinator(CoordinatorConfig{Addrs: addrs, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := strict.MultiAll(specs); err == nil {
+		t.Error("strict coordinator succeeded with a dead server")
+	}
+}
+
+// TestCoordinatorServerTimeout (satellite S3): a server that accepts but
+// never answers trips the per-attempt timeout; the attempts appear as
+// failed spans in the trace and the operation degrades around the server.
+func TestCoordinatorServerTimeout(t *testing.T) {
+	addrs, items := startPartitionedServers(t, 2, nil, nil)
+	hung, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hung.Close() })
+	go func() { // accept and hold connections open without responding
+		for {
+			conn, err := hung.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	addrs = append(addrs, hung.Addr().String())
+
+	specs := coordSpecs(items)
+	coordTr := obs.New(obs.Config{SlowQueryThreshold: -1, Node: "coordinator"})
+	c, err := NewCoordinator(CoordinatorConfig{
+		Addrs: addrs, Timeout: 100 * time.Millisecond, Retries: 1, Degrade: true,
+		Tracer: coordTr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, stats, err := c.MultiAllContext(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Degraded {
+		t.Errorf("hung server not degraded: %+v", stats)
+	}
+	if h := stats.PerServer[2]; h.OK || h.Attempts != 2 || h.Err == "" {
+		t.Errorf("hung server health = %+v, want 2 timed-out attempts", h)
+	}
+	tree := coordTr.Trace(coordTr.TraceIDs()[0])
+	var timedOut int
+	for _, ch := range tree.Children {
+		if ch.Node == "srv2" && ch.Err != "" {
+			timedOut++
+		}
+	}
+	if timedOut != 2 {
+		t.Errorf("trace shows %d failed spans for the hung server, want 2", timedOut)
+	}
+}
+
+// TestCoordinatorExplain: the explain op fans out like multi_all and
+// returns one profile set per server with batch-consistent headers.
+func TestCoordinatorExplain(t *testing.T) {
+	addrs, items := startPartitionedServers(t, 3, nil, nil)
+	specs := coordSpecs(items)
+	c, err := NewCoordinator(CoordinatorConfig{Addrs: addrs, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, stats, err := c.Explain(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(addrs) {
+		t.Fatalf("%d profile sets for %d servers", len(profiles), len(addrs))
+	}
+	var pages int64
+	for i, ex := range profiles {
+		if ex == nil {
+			t.Fatalf("server %d returned no profile", i)
+		}
+		if len(ex.Queries) != len(specs) {
+			t.Errorf("server %d profiled %d queries, want %d", i, len(ex.Queries), len(specs))
+		}
+		if ex.Engine != "scan" {
+			t.Errorf("server %d engine = %q", i, ex.Engine)
+		}
+		pages += ex.Stats.PagesRead
+	}
+	if pages != stats.PagesRead {
+		t.Errorf("profile pages sum to %d, aggregated stats say %d", pages, stats.PagesRead)
+	}
+}

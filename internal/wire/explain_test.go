@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/msq"
+	"metricdb/internal/obs"
+	"metricdb/internal/scan"
+	"metricdb/internal/vec"
+)
+
+// TestExplainOverWire: the explain op returns the per-query profiles of a
+// real evaluation — the response stats match the profile's own batch stats
+// and the attribution covers every query.
+func TestExplainOverWire(t *testing.T) {
+	_, addr := startServerCfg(t, ServerConfig{}, nil)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	specs := []QuerySpec{
+		{ID: 1, Vector: []float64{0.2, 0.4, 0.6}, Kind: "knn", K: 3},
+		{ID: 2, Vector: []float64{0.5, 0.5, 0.5}, Kind: "range", Range: 0.3},
+	}
+	ex, stats, err := c.ExplainContext(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Queries) != len(specs) {
+		t.Fatalf("%d profiles for %d queries", len(ex.Queries), len(specs))
+	}
+	if got := fromStats(ex.Stats); got.PagesRead != stats.PagesRead ||
+		got.DistCalcs != stats.DistCalcs || got.Avoided != stats.Avoided ||
+		got.AvoidTries != stats.AvoidTries || got.Queries != stats.Queries {
+		t.Errorf("response stats %+v differ from profile stats %+v", stats, got)
+	}
+	for i, p := range ex.Queries {
+		if p.ID != specs[i].ID || p.PagesVisited <= 0 {
+			t.Errorf("profile %d = %+v", i, p)
+		}
+	}
+	// Malformed batches are rejected before evaluation.
+	if _, _, err := c.ExplainContext(context.Background(), nil); err == nil {
+		t.Error("empty explain batch accepted")
+	}
+}
+
+// TestExplainHandler: the admin endpoint profiles a POSTed batch and
+// rejects wrong methods and malformed bodies.
+func TestExplainHandler(t *testing.T) {
+	srv, _ := startServerCfg(t, ServerConfig{}, nil)
+	h := srv.ExplainHandler()
+
+	body := `{"queries":[{"id":1,"vector":[0.2,0.4,0.6],"kind":"knn","k":3}]}`
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/debug/explain", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain status %d: %s", rec.Code, rec.Body.String())
+	}
+	var ex msq.Explain
+	if err := json.Unmarshal(rec.Body.Bytes(), &ex); err != nil {
+		t.Fatalf("explain body is not JSON: %v", err)
+	}
+	if len(ex.Queries) != 1 || ex.Queries[0].ID != 1 || ex.Engine != "scan" {
+		t.Errorf("explain profile = %+v", ex)
+	}
+
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/debug/explain", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", rec.Code)
+	}
+	for _, bad := range []string{"not json", `{"queries":[]}`, `{"queries":[{"kind":"warp"}]}`} {
+		rec = httptest.NewRecorder()
+		h(rec, httptest.NewRequest("POST", "/debug/explain", strings.NewReader(bad)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+// TestTraceDispatch: a request carrying a span context gets the server's
+// request span and phase deltas back; requests without one stay untraced.
+func TestTraceDispatch(t *testing.T) {
+	// The tracer must be shared by the wire layer (request spans, delta
+	// window) and the processor (phase observations), as msqserver wires it.
+	tr := obs.New(obs.Config{SlowQueryThreshold: -1, Node: "srv0"})
+	eng, err := scan.New(dataset.Uniform(9, 300, 3), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := msq.New(eng, vec.Euclidean{}, msq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServerWithConfig(proc.WithTracer(tr), ServerConfig{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck // ends with net.ErrClosed on shutdown
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	specs := []QuerySpec{
+		{ID: 1, Vector: []float64{0.2, 0.4, 0.6}, Kind: "knn", K: 3},
+		{ID: 2, Vector: []float64{0.5, 0.5, 0.5}, Kind: "range", Range: 0.3},
+	}
+
+	// Untraced request: no TraceInfo in the response.
+	resp, err := c.DoContext(context.Background(), Request{Op: OpMultiAll, Queries: specs})
+	if err != nil || resp.Err != "" {
+		t.Fatalf("untraced round trip: %v %q", err, resp.Err)
+	}
+	if resp.Trace != nil {
+		t.Error("untraced request returned trace info")
+	}
+
+	// Traced request on a fresh connection (a fresh session — the first
+	// request's session has the batch buffered, leaving no page work to
+	// profile): the server's span subtree hangs off the caller's span and
+	// the kernel phase delta comes back for merging.
+	c2, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	caller := obs.New(obs.Config{SlowQueryThreshold: -1, Node: "coordinator"})
+	span := caller.StartSpan("server_call")
+	sc := span.Context()
+	resp, err = c2.DoContext(context.Background(), Request{Op: OpMultiAll, Queries: specs, Trace: &sc})
+	span.End()
+	if err != nil || resp.Err != "" {
+		t.Fatalf("traced round trip: %v %q", err, resp.Err)
+	}
+	if resp.Trace == nil || len(resp.Trace.Spans) == 0 {
+		t.Fatal("traced request returned no trace info")
+	}
+	req := resp.Trace.Spans[0]
+	if req.Name != "request:multi_all" || req.Node != "srv0" ||
+		req.Trace != sc.Trace || req.Parent != sc.Span {
+		t.Errorf("server span = %+v, want request:multi_all under the caller's span", req)
+	}
+	if snap, ok := resp.Trace.Phases["kernel"]; !ok || snap.Count == 0 {
+		t.Errorf("phase deltas = %v, want a kernel entry", resp.Trace.Phases)
+	}
+}

@@ -45,6 +45,11 @@ const (
 	// OpPing is a liveness probe; the server answers with an empty
 	// success response.
 	OpPing Op = "ping"
+	// OpExplain evaluates a batch to completion like OpMultiAll and
+	// returns per-query EXPLAIN profiles (pages visited, lemma breakdown,
+	// kernel abandons, buffer hit ratio, per-phase wall time) instead of
+	// the answers. The answers land in the session's buffers as usual.
+	OpExplain Op = "explain"
 )
 
 // Error taxonomy: every error response carries one of these codes so
@@ -93,6 +98,28 @@ func (q QuerySpec) toType() (query.Type, error) {
 type Request struct {
 	Op      Op          `json:"op"`
 	Queries []QuerySpec `json:"queries,omitempty"`
+	// Trace, when non-nil, is the caller's distributed-trace position (a
+	// coordinator's server_call span). A trace-enabled server then runs
+	// the request under a child span and returns its span subtree and
+	// phase-histogram deltas in Response.Trace, so the coordinator can
+	// stitch one cross-server trace. Absent on plain requests.
+	Trace *obs.SpanContext `json:"trace,omitempty"`
+}
+
+// TraceInfo is the server's contribution to a distributed trace, returned
+// when the request carried a Trace context and the server has a
+// trace-enabled tracer.
+type TraceInfo struct {
+	// Spans is the server-side span subtree of this request (the request
+	// span; wall-clock timestamps, so the coordinator can place it on the
+	// shared timeline).
+	Spans []obs.DistSpan `json:"spans,omitempty"`
+	// Phases maps phase names to the server's phase-histogram deltas over
+	// the request window (HistSnapshot.Sub). The server tracer is shared
+	// across connections, so under concurrent load a delta can include
+	// observations of overlapping requests; it is exact when requests do
+	// not overlap.
+	Phases map[string]obs.HistSnapshot `json:"phases,omitempty"`
 }
 
 // Answer is one result in wire form.
@@ -118,6 +145,21 @@ type Stats struct {
 	// server always reports Degraded=false, Coverage=1.
 	Degraded bool    `json:"degraded,omitempty"`
 	Coverage float64 `json:"coverage"`
+	// PerServer carries per-server health — including the final-attempt
+	// latency — when the stats describe a coordinated multi-server
+	// operation. Single-node servers leave it empty.
+	PerServer []ServerHealth `json:"per_server,omitempty"`
+}
+
+// ServerHealth mirrors parallel.ServerHealth over the wire: one server's
+// fate during a coordinated operation, latency included.
+type ServerHealth struct {
+	OK       bool   `json:"ok"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"err,omitempty"`
+	// LatencyNs is the wall time of the server's final attempt in
+	// nanoseconds (backoff waits excluded).
+	LatencyNs int64 `json:"latency_ns"`
 }
 
 func fromStats(s msq.Stats) Stats {
@@ -140,7 +182,12 @@ type Response struct {
 	// OpQuery).
 	Answers [][]Answer `json:"answers,omitempty"`
 	Stats   Stats      `json:"stats"`
-	Err     string     `json:"err,omitempty"`
+	// Explain holds the per-query profiles for OpExplain responses.
+	Explain *msq.Explain `json:"explain,omitempty"`
+	// Trace holds the server's span subtree and phase deltas when the
+	// request carried a trace context (see TraceInfo).
+	Trace *TraceInfo `json:"trace,omitempty"`
+	Err   string     `json:"err,omitempty"`
 	// Code classifies a non-empty Err (CodeBadRequest, CodeEngine,
 	// CodeOverload, CodeShutdown).
 	Code string `json:"code,omitempty"`
@@ -510,13 +557,50 @@ func (s *Server) handle(conn net.Conn) {
 			})
 			return
 		}
-		if err := send(s.dispatch(session, &total, req)); err != nil {
+		if err := send(s.traceDispatch(session, &total, req)); err != nil {
 			return
 		}
 		if s.isDraining() {
 			return // in-flight request finished; drain the connection
 		}
 	}
+}
+
+// traceDispatch runs dispatch under the request's distributed-trace
+// context when one is present: the server-side work becomes a child span
+// of the caller's span, and the response carries that span plus the phase-
+// histogram deltas over the request window, for the coordinator to stitch
+// and merge. Requests without a trace context (or servers without a
+// tracer) dispatch untouched.
+func (s *Server) traceDispatch(session *msq.Session, total *msq.Stats, req Request) Response {
+	tr := s.cfg.Tracer
+	if req.Trace == nil || !tr.Enabled() {
+		return s.dispatch(session, total, req)
+	}
+	span := tr.StartSpanFrom(*req.Trace, "request:"+string(req.Op))
+	before := tr.Snapshots()
+	resp := s.dispatch(session, total, req)
+	info := &TraceInfo{}
+	if span != nil {
+		if resp.Err != "" {
+			span.SetErr(resp.Err)
+		}
+		span.End()
+		info.Spans = []obs.DistSpan{span.Span()}
+	}
+	after := tr.Snapshots()
+	for p := range after {
+		if d := after[p].Sub(before[p]); d.Count > 0 {
+			if info.Phases == nil {
+				info.Phases = make(map[string]obs.HistSnapshot)
+			}
+			info.Phases[obs.Phase(p).String()] = d
+		}
+	}
+	if len(info.Spans) > 0 || len(info.Phases) > 0 {
+		resp.Trace = info
+	}
+	return resp
 }
 
 // dispatch executes one request against the connection's session. Errors
@@ -547,22 +631,18 @@ func (s *Server) dispatch(session *msq.Session, total *msq.Stats, req Request) R
 		}
 		*total = total.Add(st)
 		return Response{Answers: [][]Answer{toWireAnswers(answers.Answers())}, Stats: fromStats(st)}
-	case OpMulti, OpMultiAll:
-		batch := make([]msq.Query, len(req.Queries))
-		seen := make(map[uint64]bool, len(req.Queries))
-		for i, q := range req.Queries {
-			t, err := q.toType()
+	case OpMulti, OpMultiAll, OpExplain:
+		batch, err := buildBatch(req.Queries)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if req.Op == OpExplain {
+			ex, err := session.ExplainAllContext(context.Background(), batch)
 			if err != nil {
-				return fail(CodeBadRequest, err)
+				return fail(CodeEngine, err)
 			}
-			if seen[q.ID] {
-				return fail(CodeBadRequest, fmt.Errorf("wire: duplicate query id %d", q.ID))
-			}
-			seen[q.ID] = true
-			batch[i] = msq.Query{ID: q.ID, Vec: vec.Vector(q.Vector), Type: t}
-			if err := batch[i].Validate(); err != nil {
-				return fail(CodeBadRequest, err)
-			}
+			*total = total.Add(ex.Stats)
+			return Response{Explain: ex, Stats: fromStats(ex.Stats)}
 		}
 		run := session.MultiQuery
 		if req.Op == OpMultiAll {
@@ -743,6 +823,26 @@ func (c *Client) MultiAll(qs []QuerySpec) ([][]Answer, Stats, error) {
 func (c *Client) MultiAllContext(ctx context.Context, qs []QuerySpec) ([][]Answer, Stats, error) {
 	resp, err := c.roundTripContext(ctx, Request{Op: OpMultiAll, Queries: qs})
 	return resp.Answers, resp.Stats, err
+}
+
+// ExplainContext evaluates the batch to completion and returns the
+// server's per-query EXPLAIN profiles instead of the answers.
+func (c *Client) ExplainContext(ctx context.Context, qs []QuerySpec) (*msq.Explain, Stats, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpExplain, Queries: qs})
+	if err != nil {
+		return nil, resp.Stats, err
+	}
+	if resp.Explain == nil {
+		return nil, resp.Stats, fmt.Errorf("%w: explain response without profiles", ErrMalformedResponse)
+	}
+	return resp.Explain, resp.Stats, nil
+}
+
+// DoContext sends one raw request — trace context included — and returns
+// the raw response. It is the coordinator's entry point; most callers want
+// the typed helpers instead.
+func (c *Client) DoContext(ctx context.Context, req Request) (Response, error) {
+	return c.roundTripContext(ctx, req)
 }
 
 // SessionStats returns the connection's accumulated statistics.
