@@ -25,6 +25,11 @@
 // counters and verdicts use the tight -tolerance. A judged metric present
 // in the baseline but missing from the fresh document is a regression;
 // fields added by newer code are ignored, so baselines age gracefully.
+//
+// Exit codes: 0 all pairs within tolerance, 1 regression detected, 2
+// usage or unreadable/corrupt input, 3 a baseline file does not exist —
+// the usual cause is a freshly added experiment whose artifact has not
+// been committed yet; the error message shows the seeding commands.
 package main
 
 import (
@@ -47,6 +52,10 @@ func main() {
 	}
 	failed := false
 	for i := 0; i < len(args); i += 2 {
+		if baselineMissing(args[i]) {
+			fmt.Fprint(os.Stderr, missingBaselineMsg(args[i], args[i+1]))
+			os.Exit(3)
+		}
 		regressions, compared, err := compareFiles(args[i], args[i+1], *tolerance, *speedupTol)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
@@ -80,6 +89,31 @@ func compareFiles(basePath, freshPath string, tolerance, speedupTol float64) (re
 	c.walk("", base, fresh)
 	sort.Strings(c.regressions)
 	return c.regressions, c.compared, nil
+}
+
+// baselineMissing reports whether the committed baseline file does not
+// exist — a distinct, fixable situation (exit 3) that must not be
+// conflated with a corrupt or unreadable input (exit 2): there is nothing
+// to judge against, and the fix is to seed and commit the baseline, not
+// to debug the comparison.
+func baselineMissing(path string) bool {
+	_, err := os.Stat(path)
+	return os.IsNotExist(err)
+}
+
+// missingBaselineMsg is the actionable report for a missing baseline: it
+// names the gap and spells out the exact commands that close it.
+func missingBaselineMsg(basePath, freshPath string) string {
+	return fmt.Sprintf(`benchcompare: no committed baseline at %[1]s
+A fresh artifact exists at %[2]s, but with no baseline to judge it
+against no regression verdict is possible. If this experiment is new,
+inspect the fresh artifact, then seed the baseline from it and commit:
+
+    cp %[2]s %[1]s
+    git add %[1]s
+
+and re-run the comparison.
+`, basePath, freshPath)
 }
 
 func readJSON(path string) (any, error) {

@@ -94,6 +94,29 @@ func TestCompareFlagsMissingMetricAndShortArray(t *testing.T) {
 	}
 }
 
+func TestMissingBaselineDetection(t *testing.T) {
+	existing := write(t, "base.json", `{}`)
+	if baselineMissing(existing) {
+		t.Error("existing baseline reported missing")
+	}
+	if !baselineMissing(filepath.Join(t.TempDir(), "BENCH_new.json")) {
+		t.Error("nonexistent baseline not reported missing")
+	}
+}
+
+func TestMissingBaselineMessageIsActionable(t *testing.T) {
+	msg := missingBaselineMsg("BENCH_load.json", ".bench-fresh/BENCH_load.json")
+	for _, want := range []string{
+		"no committed baseline at BENCH_load.json",
+		"cp .bench-fresh/BENCH_load.json BENCH_load.json",
+		"git add BENCH_load.json",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
 func TestCompareIgnoresAddedFields(t *testing.T) {
 	base := write(t, "base.json", `{"speedup":2.0}`)
 	fresh := write(t, "fresh.json", `{"speedup":2.1,"new_metric":123,"identical":false}`)

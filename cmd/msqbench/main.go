@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs|distobs]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs|distobs|load]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
 //	         [-kernels-out BENCH_kernels.json]
 //	         [-obs-out BENCH_obs.json]
 //	         [-distobs-out BENCH_distobs.json]
+//	         [-load-out BENCH_load.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
@@ -43,6 +44,15 @@
 // EXPLAIN profile's width stability, and writes the results to
 // -distobs-out as JSON.
 //
+// The load experiment drives an admission-controlled wire server with an
+// open-loop generator through ramp, spike and sustained-overload traffic
+// profiles (rates expressed as multiples of the host's own calibrated
+// sequential capacity), records latency percentiles, shed rate and
+// achieved cross-caller batch width, verifies that overload sheds are
+// structured with retry-after hints while admitted answers stay
+// bit-identical to the unbatched sequential path, and writes the results
+// to -load-out as JSON.
+//
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
 package main
@@ -71,15 +81,16 @@ func main() {
 		kernelsOut = flag.String("kernels-out", "BENCH_kernels.json", "output file for the kernels experiment's JSON results")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
 		distObsOut = flag.String("distobs-out", "BENCH_distobs.json", "output file for the distobs experiment's JSON results")
+		loadOut    = flag.String("load-out", "BENCH_load.json", "output file for the load experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut, *distObsOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut, *distObsOut, *loadOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut, distObsOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut, distObsOut, loadOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -93,7 +104,7 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
-		"intra": true, "kernels": true, "obs": true, "distobs": true}
+		"intra": true, "kernels": true, "obs": true, "distobs": true, "load": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -146,7 +157,8 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	needIntra := want("intra")
 	needObs := want("obs")
 	needDistObs := want("distobs")
-	if !needSweep && !needParallel && !needChaos && !needIntra && !needObs && !needDistObs {
+	needLoad := want("load")
+	if !needSweep && !needParallel && !needChaos && !needIntra && !needObs && !needDistObs && !needLoad {
 		return nil
 	}
 
@@ -288,6 +300,29 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", distObsOut)
+	}
+
+	if needLoad {
+		result, err := experiments.RunLoad(astro, experiments.LoadConfig{})
+		if err != nil {
+			return err
+		}
+		for _, r := range result.Runs {
+			if !r.Identical {
+				return fmt.Errorf("load: %s profile: an admitted answer diverged from the unbatched sequential reference", r.Profile)
+			}
+			if !r.Stable {
+				return fmt.Errorf("load: %s profile unstable: admitted=%d shed=%d errors=%d p95=%.1fms (SLO %.0fms) width=%.2f hints=%v",
+					r.Profile, r.Admitted, r.Shed, r.ErrorsOther, r.P95Ms, result.SLOMs, r.AvgWidth, r.RetryAfterHints)
+			}
+		}
+		if err := emit(result.Figure()); err != nil {
+			return err
+		}
+		if err := experiments.WriteLoadJSONFile(loadOut, result); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", loadOut)
 	}
 
 	if needParallel {

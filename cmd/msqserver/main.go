@@ -10,6 +10,8 @@
 //	          [-max-conns 0] [-max-request-bytes 1048576]
 //	          [-read-timeout 0] [-write-timeout 10s] [-drain 5s]
 //	          [-admin 127.0.0.1:7708] [-slow-query 100ms]
+//	          [-admit] [-admit-queue 256] [-admit-max-width 16]
+//	          [-admit-max-wait 2ms] [-admit-slo 1s]
 //
 // Request/response format (one JSON object per line):
 //
@@ -24,6 +26,13 @@
 // of a dropped connection. SIGINT/SIGTERM drain gracefully: the listener
 // closes, in-flight requests finish within the -drain grace period, then
 // remaining connections are force-closed.
+//
+// -admit enables admission control with cross-caller batch forming:
+// concurrently arriving "query" requests are grouped into multi-query
+// blocks (up to -admit-max-width wide, lingering at most -admit-max-wait),
+// requests that cannot meet their deadline budget (request deadline_ms, or
+// -admit-slo when absent) are shed early with a structured overload error
+// and a retry-after hint, and at most -admit-queue requests wait at once.
 //
 // -admin binds a second, HTTP, listener with the observability surface:
 // GET /metrics (Prometheus text: per-phase latency histograms, buffer and
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"metricdb"
+	"metricdb/internal/admit"
 	"metricdb/internal/dataset"
 	"metricdb/internal/obs"
 	"metricdb/internal/wire"
@@ -70,6 +80,12 @@ func main() {
 		adminAddr = flag.String("admin", "", "admin HTTP listen address for /metrics, /debug/traces, /debug/explain and /debug/pprof (empty = observability disabled)")
 		slowQuery = flag.Duration("slow-query", obs.DefaultSlowQueryThreshold, "slow-query log threshold (needs -admin; negative disables the log)")
 		node      = flag.String("node", "server", "node label on distributed trace spans recorded by this process")
+
+		admitOn       = flag.Bool("admit", false, "enable admission control and cross-caller batch forming for single-query requests")
+		admitQueue    = flag.Int("admit-queue", admit.DefaultMaxQueue, "admission queue bound (requests beyond it are shed with overload)")
+		admitMaxWidth = flag.Int("admit-max-width", admit.DefaultMaxWidth, "maximum formed batch width m")
+		admitMaxWait  = flag.Duration("admit-max-wait", admit.DefaultMaxWait, "maximum linger waiting for arrivals to widen a batch")
+		admitSLO      = flag.Duration("admit-slo", admit.DefaultDefaultSLO, "deadline budget for requests that carry no deadline_ms")
 	)
 	flag.Parse()
 	cfg := wire.ServerConfig{
@@ -79,6 +95,14 @@ func main() {
 		MaxConns:        *maxConns,
 		Logf:            log.Printf,
 		Concurrency:     *width,
+	}
+	if *admitOn {
+		cfg.Admit = &admit.Config{
+			MaxQueue:   *admitQueue,
+			MaxWidth:   *admitMaxWidth,
+			MaxWait:    *admitMaxWait,
+			DefaultSLO: *admitSLO,
+		}
 	}
 	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain, *adminAddr, *slowQuery, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "msqserver:", err)
@@ -241,5 +265,30 @@ func newRegistry(tracer *obs.Tracer, db *metricdb.DB, srv *wire.Server, engine s
 		func() float64 { return float64(srv.EngineErrorCount()) })
 	reg.Counter("metricdb_wire_refused_total", "", "Connections refused (overload or shutdown).",
 		func() float64 { return float64(srv.RefusedCount()) })
+	if adm := srv.Admitter(); adm != nil {
+		reg.Gauge("metricdb_admit_queue_depth", "", "Requests waiting in the admission queue.",
+			func() float64 { return float64(adm.QueueDepth()) })
+		reg.Gauge("metricdb_admit_width_target", "", "Most recent adaptive batch-width target.",
+			func() float64 { return float64(adm.WidthTarget()) })
+		reg.Gauge("metricdb_admit_width_achieved", "", "Achieved mean batch width across executed blocks.",
+			adm.AvgWidth)
+		reg.Counter("metricdb_admit_admitted_total", "", "Queries answered through a formed batch.",
+			func() float64 { return float64(adm.Admitted()) })
+		reg.Counter("metricdb_admit_batches_total", "", "Batches executed by the admission former.",
+			func() float64 { return float64(adm.Batches()) })
+		for _, r := range []struct {
+			reason string
+			count  func() int64
+		}{
+			{"queue_full", func() int64 { f, _, _ := adm.ShedByReason(); return f }},
+			{"deadline", func() int64 { _, d, _ := adm.ShedByReason(); return d }},
+			{"shutting_down", func() int64 { _, _, s := adm.ShedByReason(); return s }},
+		} {
+			count := r.count
+			reg.Counter("metricdb_admit_shed_total", fmt.Sprintf("reason=%q", r.reason),
+				"Requests shed by the admission controller.",
+				func() float64 { return float64(count()) })
+		}
+	}
 	return reg
 }

@@ -71,6 +71,9 @@ const (
 	PhaseWireDecode
 	// PhaseWireEncode is the JSON encode + flush of one wire response.
 	PhaseWireEncode
+	// PhaseAdmitWait is the time one admitted single query spent in the
+	// admission queue before its batch was released (internal/admit).
+	PhaseAdmitWait
 
 	// NumPhases is the number of phases (array sizing).
 	NumPhases = int(iota)
@@ -87,6 +90,7 @@ var phaseNames = [NumPhases]string{
 	"server_call",
 	"wire_decode",
 	"wire_encode",
+	"admit_wait",
 }
 
 // String returns the phase's label value.

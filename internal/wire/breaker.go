@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen marks a server call skipped because the per-server
+// circuit breaker is open: the server failed BreakerThreshold consecutive
+// attempts and its cooldown has not elapsed, so the coordinator fails the
+// call immediately instead of burning a dial + timeout on a server that is
+// almost certainly still down. With Degrade set this turns a slow
+// degraded operation into a fast one.
+var ErrCircuitOpen = errors.New("wire: circuit breaker open")
+
+// Circuit breaker defaults (CoordinatorConfig.BreakerThreshold / Cooldown).
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+)
+
+// breakerState enumerates the classic three states.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one server's circuit breaker. Closed passes every call and
+// counts consecutive failures; threshold consecutive failures open it;
+// after the cooldown one probe call is let through (half-open) — its
+// success closes the breaker, its failure re-opens it for another
+// cooldown. Successes reset the failure count. Only failures that indicate
+// server trouble should be recorded: a bad_request proves the server is
+// answering fine and must not trip it (the caller decides, see classify).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+}
+
+// allow reports whether a call may proceed. In the open state it flips to
+// half-open once the cooldown has elapsed, admitting exactly one probe;
+// concurrent calls during the probe are rejected.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: probe in flight
+		return false
+	}
+}
+
+// success records a successful call, closing the breaker.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed call: a failed half-open probe re-opens
+// immediately, and the threshold-th consecutive closed-state failure opens.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// currentState returns the state label for metrics and tests ("closed"
+// when the breaker is disabled).
+func (b *breaker) currentState() string {
+	if b == nil {
+		return breakerClosed.String()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface the impending half-open transition: an open breaker past its
+	// cooldown will admit the next call.
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen.String()
+	}
+	return b.state.String()
+}

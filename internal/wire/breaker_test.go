@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClassify pins the retry policy: which failures retry, which honor a
+// retry-after hint, and which trip the circuit breaker.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		retryable  bool
+		retryAfter time.Duration
+		trips      bool
+	}{
+		{"transport", errors.New("dial tcp: connection refused"), true, 0, true},
+		{"bad_request", &ServerError{Code: CodeBadRequest, Msg: "no"}, false, 0, false},
+		{"shutting_down", &ServerError{Code: CodeShutdown, Msg: "bye"}, false, 0, true},
+		{"overload", &ServerError{Code: CodeOverload, Msg: "busy", RetryAfter: 42 * time.Millisecond}, true, 42 * time.Millisecond, true},
+		{"engine_error", &ServerError{Code: CodeEngine, Msg: "boom"}, true, 0, true},
+	}
+	for _, c := range cases {
+		retryable, after, trips := classify(c.err)
+		if retryable != c.retryable || after != c.retryAfter || trips != c.trips {
+			t.Errorf("%s: classify = (%v, %v, %v), want (%v, %v, %v)",
+				c.name, retryable, after, trips, c.retryable, c.retryAfter, c.trips)
+		}
+	}
+}
+
+// TestBreakerStateMachine drives one breaker through closed → open →
+// half-open → closed and the failed-probe re-open.
+func TestBreakerStateMachine(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: 20 * time.Millisecond}
+	if !b.allow() || b.currentState() != "closed" {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	b.failure()
+	if !b.allow() {
+		t.Fatal("one failure below threshold must not trip")
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("threshold consecutive failures must open the breaker")
+	}
+	if got := b.currentState(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: one half-open probe must be admitted")
+	}
+	if b.allow() {
+		t.Fatal("second call during the probe must be rejected")
+	}
+	b.failure() // probe failed: re-open immediately
+	if b.allow() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe must be admitted after another cooldown")
+	}
+	b.success()
+	if !b.allow() || b.currentState() != "closed" {
+		t.Fatal("successful probe must close the breaker")
+	}
+	// A nil breaker (breakers disabled) is a pass-through.
+	var nb *breaker
+	if !nb.allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	nb.success()
+	nb.failure()
+}
+
+// fakeServer speaks just enough of the line protocol to return a canned
+// error response for every request, counting the requests it saw.
+func fakeServer(t *testing.T, resp Response) (addr string, calls *atomic.Int64) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	calls = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					if _, err := br.ReadBytes('\n'); err != nil {
+						return
+					}
+					calls.Add(1)
+					if err := json.NewEncoder(conn).Encode(resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return lis.Addr().String(), calls
+}
+
+// TestCoordinatorFailsFastOnBadRequest: a bad_request response must not be
+// retried — the server already proved the request itself is the problem —
+// and must not trip the breaker.
+func TestCoordinatorFailsFastOnBadRequest(t *testing.T) {
+	addr, calls := fakeServer(t, Response{Err: "nope", Code: CodeBadRequest})
+	c, err := NewCoordinator(CoordinatorConfig{
+		Addrs: []string{addr}, Timeout: 5 * time.Second, Retries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := c.MultiAll(coordSpecsDummy())
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeBadRequest {
+		t.Fatalf("got %v, want bad_request ServerError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (fail fast)", got)
+	}
+	if stats.PerServer[0].Attempts != 1 {
+		t.Fatalf("health attempts = %d, want 1", stats.PerServer[0].Attempts)
+	}
+	if got := c.BreakerState(0); got != "closed" {
+		t.Fatalf("breaker = %q after bad_request, want closed", got)
+	}
+}
+
+// TestCoordinatorHonorsRetryAfter: retries after an overload response wait
+// at least the server's hint, and the hint surfaces on ServerError.
+func TestCoordinatorHonorsRetryAfter(t *testing.T) {
+	const hint = 60 * time.Millisecond
+	addr, calls := fakeServer(t, Response{
+		Err: "overloaded", Code: CodeOverload, RetryAfterMs: hint.Milliseconds(),
+	})
+	c, err := NewCoordinator(CoordinatorConfig{
+		Addrs: []string{addr}, Timeout: 5 * time.Second, Retries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err = c.MultiAll(coordSpecsDummy())
+	elapsed := time.Since(start)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeOverload {
+		t.Fatalf("got %v, want overload ServerError", err)
+	}
+	if se.RetryAfter != hint {
+		t.Fatalf("ServerError.RetryAfter = %v, want %v", se.RetryAfter, hint)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+	if elapsed < hint {
+		t.Fatalf("retried after %v, before the server's %v retry-after hint", elapsed, hint)
+	}
+}
+
+// TestCoordinatorBreakerTripsAndProbes: consecutive failures against a dead
+// server open its breaker (later operations fail fast with ErrCircuitOpen,
+// zero attempts), and after the cooldown one probe is admitted again.
+func TestCoordinatorBreakerTripsAndProbes(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // nothing listens: every dial fails fast
+
+	const cooldown = 80 * time.Millisecond
+	c, err := NewCoordinator(CoordinatorConfig{
+		Addrs: []string{addr}, Timeout: time.Second, Retries: 1,
+		BreakerThreshold: 2, BreakerCooldown: cooldown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := coordSpecsDummy()
+	// Two failed attempts (1 try + 1 retry) reach the threshold.
+	if _, stats, err := c.MultiAll(specs); err == nil {
+		t.Fatal("dead server: want error")
+	} else if stats.PerServer[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", stats.PerServer[0].Attempts)
+	}
+	if got := c.BreakerState(0); got != "open" {
+		t.Fatalf("breaker = %q after threshold failures, want open", got)
+	}
+	// Open breaker: the next operation fails fast without dialing.
+	_, stats, err := c.MultiAll(specs)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("got %v, want ErrCircuitOpen", err)
+	}
+	if stats.PerServer[0].Attempts != 0 {
+		t.Fatalf("attempts = %d while open, want 0", stats.PerServer[0].Attempts)
+	}
+	// After the cooldown a probe is admitted (and fails, re-opening).
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if _, stats, err := c.MultiAll(specs); err == nil {
+		t.Fatal("dead server probe: want error")
+	} else if stats.PerServer[0].Attempts == 0 {
+		t.Fatal("cooldown elapsed: want a probe attempt")
+	}
+	if got := c.BreakerState(0); got != "open" {
+		t.Fatalf("breaker = %q after failed probe, want open", got)
+	}
+}
+
+// TestCoordinatorBreakerRecovers: a breaker opened by a dead server closes
+// again once the server comes back and the probe succeeds.
+func TestCoordinatorBreakerRecovers(t *testing.T) {
+	addrs, items := startPartitionedServers(t, 1, nil, nil)
+	specs := coordSpecs(items)
+	want := refAnswers(t, items, specs)
+
+	const cooldown = 50 * time.Millisecond
+	c, err := NewCoordinator(CoordinatorConfig{
+		Addrs: addrs, Timeout: 5 * time.Second,
+		BreakerThreshold: 1, BreakerCooldown: cooldown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trip the breaker by hand (simulating a just-recovered server).
+	c.breakers[0].failure()
+	if _, _, err := c.MultiAll(specs); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("got %v, want ErrCircuitOpen while open", err)
+	}
+	time.Sleep(cooldown + 20*time.Millisecond)
+	got, stats, err := c.MultiAll(specs)
+	if err != nil {
+		t.Fatalf("probe against a live server: %v", err)
+	}
+	if !sameCoordAnswers(got, want) {
+		t.Fatal("answers after breaker recovery differ from reference")
+	}
+	if stats.Degraded {
+		t.Fatal("recovered cluster must not report degraded")
+	}
+	if got := c.BreakerState(0); got != "closed" {
+		t.Fatalf("breaker = %q after successful probe, want closed", got)
+	}
+}
+
+// coordSpecsDummy is a minimal valid batch for servers that never answer.
+func coordSpecsDummy() []QuerySpec {
+	return []QuerySpec{{ID: 1, Vector: []float64{0.5, 0.5, 0.5}, Kind: "knn", K: 2}}
+}

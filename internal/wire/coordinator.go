@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,7 +28,8 @@ import (
 // already on the wire, so a fresh dial per attempt keeps a timed-out or
 // failed attempt from poisoning later ones.
 type Coordinator struct {
-	cfg CoordinatorConfig
+	cfg      CoordinatorConfig
+	breakers []*breaker // one per address; nil slice when disabled
 }
 
 // CoordinatorConfig tunes a Coordinator.
@@ -38,11 +40,24 @@ type CoordinatorConfig struct {
 	// no per-attempt bound beyond the operation context.
 	Timeout time.Duration
 	// Retries is the number of additional attempts after a failed or
-	// timed-out server call.
+	// timed-out server call. Retries apply only to failures worth
+	// retrying: bad_request and shutting_down responses fail fast, and an
+	// overload response waits at least the server's retry-after hint
+	// before the next attempt instead of hammering a shedding server.
 	Retries int
 	// Backoff is the wait before the first retry, doubling on each
 	// subsequent one.
 	Backoff time.Duration
+	// BreakerThreshold is the number of consecutive failed attempts that
+	// trips a server's circuit breaker (calls then fail fast with
+	// ErrCircuitOpen until the cooldown admits a half-open probe). Zero
+	// selects DefaultBreakerThreshold; negative disables the breakers.
+	// bad_request responses never trip a breaker — they prove the server
+	// is answering.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before one
+	// probe call is admitted. Zero selects DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// Degrade allows partial results: servers that still fail after all
 	// retries are dropped from the merge and the stats report coverage
 	// < 1 instead of the operation failing.
@@ -71,7 +86,32 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Retries < 0 {
 		return nil, fmt.Errorf("wire: negative retries")
 	}
-	return &Coordinator{cfg: cfg}, nil
+	c := &Coordinator{cfg: cfg}
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if threshold > 0 {
+		cooldown := cfg.BreakerCooldown
+		if cooldown == 0 {
+			cooldown = DefaultBreakerCooldown
+		}
+		c.breakers = make([]*breaker, len(cfg.Addrs))
+		for i := range c.breakers {
+			c.breakers[i] = &breaker{threshold: threshold, cooldown: cooldown}
+		}
+	}
+	return c, nil
+}
+
+// BreakerState returns server i's circuit-breaker state ("closed", "open"
+// or "half-open"; "closed" when breakers are disabled or i is out of
+// range). Intended for metrics exposition and tests.
+func (c *Coordinator) BreakerState(i int) string {
+	if i < 0 || i >= len(c.breakers) {
+		return breakerClosed.String()
+	}
+	return c.breakers[i].currentState()
 }
 
 // Servers returns the number of servers the coordinator fans out to.
@@ -137,57 +177,109 @@ func (c *Coordinator) fanOut(ctx context.Context, req Request) ([]serverResult, 
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			attempts := 0
-			backoff := c.cfg.Backoff
-			var lastErr error
-			var lastLatency time.Duration
-			for try := 0; try <= c.cfg.Retries; try++ {
-				if try > 0 {
-					if backoff > 0 {
-						select {
-						case <-time.After(backoff):
-						case <-ctx.Done():
-						}
-						backoff *= 2
-					}
-					if err := ctx.Err(); err != nil {
-						lastErr = err
-						break
-					}
-				}
-				attempts++
-				span := root.StartChild("server_call")
-				span.SetServer(fmt.Sprintf("srv%d", i))
-				span.SetAttempt(attempts)
-				start := time.Now()
-				resp, err := c.callServer(ctx, addr, req, span)
-				lastLatency = time.Since(start)
-				c.cfg.Tracer.Observe(obs.PhaseServerCall, lastLatency)
-				if err != nil {
-					span.SetErr(err.Error())
-				}
-				span.End()
-				if err == nil {
-					c.absorbTrace(i, resp.Trace)
-					results[i] = serverResult{
-						resp:   resp,
-						health: ServerHealth{OK: true, Attempts: attempts, LatencyNs: int64(lastLatency)},
-					}
-					return
-				}
-				lastErr = err
-				if ctx.Err() != nil {
-					break // canceled: further retries cannot succeed
-				}
-			}
-			results[i] = serverResult{
-				health: ServerHealth{Attempts: attempts, Err: lastErr.Error(), LatencyNs: int64(lastLatency)},
-				err:    lastErr,
-			}
+			results[i] = c.callWithRetry(ctx, i, addr, req, root)
 		}(i, addr)
 	}
 	wg.Wait()
 	return results, root
+}
+
+// callWithRetry runs one server's attempts for one operation: per-attempt
+// span and latency accounting, the error-code-aware retry policy (see
+// classify), and the per-server circuit breaker.
+func (c *Coordinator) callWithRetry(ctx context.Context, i int, addr string, req Request, root *obs.ActiveSpan) serverResult {
+	var br *breaker
+	if i < len(c.breakers) {
+		br = c.breakers[i]
+	}
+	attempts := 0
+	backoff := c.cfg.Backoff
+	var retryAfter time.Duration
+	var lastErr error
+	var lastLatency time.Duration
+	for try := 0; try <= c.cfg.Retries; try++ {
+		if try > 0 {
+			// An overloaded server's retry-after hint floors the backoff:
+			// retrying sooner than the server asked just gets shed again.
+			wait := backoff
+			if retryAfter > wait {
+				wait = retryAfter
+			}
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+				}
+			}
+			backoff *= 2
+			if err := ctx.Err(); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		if !br.allow() {
+			lastErr = ErrCircuitOpen
+			break
+		}
+		attempts++
+		span := root.StartChild("server_call")
+		span.SetServer(fmt.Sprintf("srv%d", i))
+		span.SetAttempt(attempts)
+		start := time.Now()
+		resp, err := c.callServer(ctx, addr, req, span)
+		lastLatency = time.Since(start)
+		c.cfg.Tracer.Observe(obs.PhaseServerCall, lastLatency)
+		if err != nil {
+			span.SetErr(err.Error())
+		}
+		span.End()
+		if err == nil {
+			br.success()
+			c.absorbTrace(i, resp.Trace)
+			return serverResult{
+				resp:   resp,
+				health: ServerHealth{OK: true, Attempts: attempts, LatencyNs: int64(lastLatency)},
+			}
+		}
+		lastErr = err
+		retryable, hint, trips := classify(err)
+		if trips {
+			br.failure()
+		}
+		retryAfter = hint
+		if !retryable || ctx.Err() != nil {
+			break // client mistake, deliberate refusal, or canceled context
+		}
+	}
+	return serverResult{
+		health: ServerHealth{Attempts: attempts, Err: lastErr.Error(), LatencyNs: int64(lastLatency)},
+		err:    lastErr,
+	}
+}
+
+// classify maps one failed attempt onto the retry policy: whether another
+// attempt can help, how long the server asked us to wait first, and
+// whether the failure indicates server trouble (counts toward the circuit
+// breaker). Transport errors (dial, timeout, broken connection) are
+// retryable server trouble. Of the taxonomy codes, bad_request is the
+// caller's own mistake — never retried, never trips the breaker;
+// shutting_down is deliberate and final for this server — not retried;
+// overload is retryable but only after the server's retry-after hint.
+func classify(err error) (retryable bool, retryAfter time.Duration, trips bool) {
+	var se *ServerError
+	if !errors.As(err, &se) {
+		return true, 0, true
+	}
+	switch se.Code {
+	case CodeBadRequest:
+		return false, 0, false
+	case CodeShutdown:
+		return false, 0, true
+	case CodeOverload:
+		return true, se.RetryAfter, true
+	default:
+		return true, 0, true
+	}
 }
 
 // callServer runs one attempt: fresh dial, request with the attempt span's

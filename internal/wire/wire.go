@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"metricdb/internal/admit"
 	"metricdb/internal/msq"
 	"metricdb/internal/obs"
 	"metricdb/internal/query"
@@ -62,9 +63,13 @@ const (
 	// storage layer returned an error).
 	CodeEngine = "engine_error"
 	// CodeOverload marks requests refused because the server is at its
-	// connection limit.
+	// connection limit, or shed by the admission controller before any
+	// I/O was spent on them. Overload responses carry a retry-after hint
+	// (Response.RetryAfterMs) when the server can estimate one; clients
+	// must not retry before it elapses.
 	CodeOverload = "overload"
 	// CodeShutdown marks responses sent while the server is draining.
+	// Not retryable against the same server.
 	CodeShutdown = "shutting_down"
 )
 
@@ -98,6 +103,12 @@ func (q QuerySpec) toType() (query.Type, error) {
 type Request struct {
 	Op      Op          `json:"op"`
 	Queries []QuerySpec `json:"queries,omitempty"`
+	// DeadlineMs is the caller's latency budget for this request in
+	// milliseconds. On servers with admission control a single query
+	// ("query" op) that cannot be admitted within the budget is shed
+	// early with an overload error; zero applies the server's default
+	// SLO. Other ops currently ignore it.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 	// Trace, when non-nil, is the caller's distributed-trace position (a
 	// coordinator's server_call span). A trace-enabled server then runs
 	// the request under a child span and returns its span subtree and
@@ -149,6 +160,20 @@ type Stats struct {
 	// latency — when the stats describe a coordinated multi-server
 	// operation. Single-node servers leave it empty.
 	PerServer []ServerHealth `json:"per_server,omitempty"`
+	// BatchWidth is the number of single queries the admission
+	// controller's batch former executed together with this one (1 = the
+	// request ran alone). Zero on paths that do not batch across callers.
+	// The other counters of an admitted response describe the *block*,
+	// amortized evidence of the sharing, not per-query attribution.
+	BatchWidth int `json:"batch_width,omitempty"`
+	// ServiceUs is the server-measured in-system time of an admitted
+	// request in microseconds: submission to answer ready, covering the
+	// admission queue wait, batch linger and block execution. This is the
+	// latency the admission controller's SLO governs — unlike the
+	// client-observed round trip it excludes network transit and
+	// scheduling delay on either side. Zero on paths without admission
+	// control.
+	ServiceUs int64 `json:"service_us,omitempty"`
 }
 
 // ServerHealth mirrors parallel.ServerHealth over the wire: one server's
@@ -191,6 +216,10 @@ type Response struct {
 	// Code classifies a non-empty Err (CodeBadRequest, CodeEngine,
 	// CodeOverload, CodeShutdown).
 	Code string `json:"code,omitempty"`
+	// RetryAfterMs hints, on overload errors, how long the caller should
+	// wait before retrying (an estimate of the backlog drain time).
+	// Absent when the server has no estimate or the error is final.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
 // DefaultMaxRequestBytes caps one request line when ServerConfig leaves
@@ -228,6 +257,13 @@ type ServerConfig struct {
 	// msq.Processor.WithTracer (typically the same tracer). Nil disables
 	// wire-level tracing at no cost.
 	Tracer *obs.Tracer
+	// Admit, when non-nil, routes single-query ("query" op) requests
+	// through an admission controller that forms cross-caller batches and
+	// sheds early under overload (see internal/admit). The controller's
+	// Tracer defaults to this config's Tracer when unset. Batched ops
+	// ("multi", "multi_all", "explain") keep their per-connection session
+	// path — they already are batches.
+	Admit *admit.Config
 }
 
 // Server serves similarity queries over a metric database. Each accepted
@@ -235,8 +271,9 @@ type ServerConfig struct {
 // concurrently (the processor's engine and counting metric are safe for
 // concurrent readers).
 type Server struct {
-	proc *msq.Processor
-	cfg  ServerConfig
+	proc  *msq.Processor
+	cfg   ServerConfig
+	admit *admit.Controller
 
 	mu       sync.Mutex
 	closed   bool
@@ -247,11 +284,13 @@ type Server struct {
 
 	// Lifetime counters for metrics exposition: requests handled, error
 	// responses sent (by the taxonomy: client mistakes vs server trouble),
-	// and connections refused before admission (overload / shutdown).
+	// connections refused before admission (overload / shutdown), and
+	// requests shed by the admission controller.
 	requests    atomic.Int64
 	badRequests atomic.Int64
 	engineErrs  atomic.Int64
 	refused     atomic.Int64
+	sheds       atomic.Int64
 }
 
 // ConnCount returns the number of currently served connections.
@@ -273,6 +312,15 @@ func (s *Server) EngineErrorCount() int64 { return s.engineErrs.Load() }
 // RefusedCount returns the number of connections refused before admission
 // (overload or shutdown).
 func (s *Server) RefusedCount() int64 { return s.refused.Load() }
+
+// ShedCount returns the number of requests shed by the admission
+// controller (always zero when ServerConfig.Admit is nil).
+func (s *Server) ShedCount() int64 { return s.sheds.Load() }
+
+// Admitter returns the server's admission controller, or nil when
+// admission control is not configured. Intended for metrics exposition
+// (queue depth, shed counts, achieved batch width) and tests.
+func (s *Server) Admitter() *admit.Controller { return s.admit }
 
 // NewServer wraps a processor with the default configuration.
 func NewServer(proc *msq.Processor) (*Server, error) {
@@ -296,7 +344,19 @@ func NewServerWithConfig(proc *msq.Processor, cfg ServerConfig) (*Server, error)
 	if cfg.Concurrency > 0 {
 		proc = proc.WithConcurrency(cfg.Concurrency)
 	}
-	return &Server{proc: proc, cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{proc: proc, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.Admit != nil {
+		acfg := *cfg.Admit
+		if acfg.Tracer == nil {
+			acfg.Tracer = cfg.Tracer
+		}
+		adm, err := admit.New(proc, acfg)
+		if err != nil {
+			return nil, err
+		}
+		s.admit = adm
+	}
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -426,6 +486,11 @@ func (s *Server) Close() error {
 	var err error
 	if lis != nil {
 		err = lis.Close()
+	}
+	// Close the admission controller first: handlers blocked in Submit are
+	// released (shed with shutting_down) so wg.Wait cannot deadlock on them.
+	if s.admit != nil {
+		s.admit.Close()
 	}
 	s.wg.Wait()
 	return err
@@ -625,6 +690,9 @@ func (s *Server) dispatch(session *msq.Session, total *msq.Stats, req Request) R
 		if err := q.Validate(); err != nil {
 			return fail(CodeBadRequest, err)
 		}
+		if s.admit != nil {
+			return s.admitQuery(total, req, q)
+		}
 		answers, st, err := s.proc.Single(q.Vec, t)
 		if err != nil {
 			return fail(CodeEngine, err)
@@ -665,6 +733,43 @@ func (s *Server) dispatch(session *msq.Session, total *msq.Stats, req Request) R
 	}
 }
 
+// admitQuery routes one single-query request through the admission
+// controller: the request's deadline_ms bounds its time in the queue, a
+// shed comes back as a structured overload (or shutting_down) response
+// with a retry-after hint, and an admitted request returns the answers its
+// cross-caller batch produced — bit-identical to the unbatched path.
+func (s *Server) admitQuery(total *msq.Stats, req Request, q msq.Query) Response {
+	ctx := context.Background()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	answers, st, width, service, err := s.admit.Submit(ctx, q)
+	if err != nil {
+		var ov *admit.Overload
+		if errors.As(err, &ov) {
+			s.sheds.Add(1)
+			code := CodeOverload
+			if ov.Reason == admit.ReasonShutdown {
+				code = CodeShutdown
+			}
+			return Response{
+				Err:          err.Error(),
+				Code:         code,
+				RetryAfterMs: int64((ov.RetryAfter + time.Millisecond - 1) / time.Millisecond),
+				Stats:        fromStats(*total),
+			}
+		}
+		return Response{Err: err.Error(), Code: CodeEngine, Stats: fromStats(*total)}
+	}
+	*total = total.Add(st)
+	stats := fromStats(st)
+	stats.BatchWidth = width
+	stats.ServiceUs = service.Microseconds()
+	return Response{Answers: [][]Answer{toWireAnswers(answers)}, Stats: stats}
+}
+
 func toWireAnswers(as []query.Answer) []Answer {
 	out := make([]Answer, len(as))
 	for i, a := range as {
@@ -702,10 +807,14 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // ServerError is an error response from the server, carrying the taxonomy
 // code so callers can distinguish their own mistakes (CodeBadRequest) from
-// server trouble (CodeEngine, CodeOverload, CodeShutdown).
+// server trouble (CodeEngine, CodeOverload, CodeShutdown). Overload
+// responses also carry the server's retry-after hint.
 type ServerError struct {
 	Code string
 	Msg  string
+	// RetryAfter is the server's suggested backoff before retrying
+	// (CodeOverload responses; zero otherwise).
+	RetryAfter time.Duration
 }
 
 // Error renders the server error.
@@ -734,7 +843,11 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, fmt.Errorf("wire: receive: %w", err)
 	}
 	if resp.Err != "" {
-		return resp, &ServerError{Code: resp.Code, Msg: resp.Err}
+		return resp, &ServerError{
+			Code:       resp.Code,
+			Msg:        resp.Err,
+			RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond,
+		}
 	}
 	return resp, nil
 }
@@ -780,9 +893,17 @@ func (c *Client) Query(q QuerySpec) ([]Answer, Stats, error) {
 }
 
 // QueryContext is Query bounded by ctx (see roundTripContext for the
-// connection-poisoning caveat on aborts).
+// connection-poisoning caveat on aborts). A ctx deadline is also forwarded
+// to the server as the request's deadline_ms, so an admission-controlled
+// server can shed the request early instead of answering past its budget.
 func (c *Client) QueryContext(ctx context.Context, q QuerySpec) ([]Answer, Stats, error) {
-	resp, err := c.roundTripContext(ctx, Request{Op: OpQuery, Queries: []QuerySpec{q}})
+	req := Request{Op: OpQuery, Queries: []QuerySpec{q}}
+	if d, ok := ctx.Deadline(); ok {
+		if ms := time.Until(d).Milliseconds(); ms > 0 {
+			req.DeadlineMs = ms
+		}
+	}
+	resp, err := c.roundTripContext(ctx, req)
 	if err != nil {
 		return nil, resp.Stats, err
 	}
