@@ -1,9 +1,9 @@
-.PHONY: check fmt vet build test race differential obsgate bench bench-all bench-compare
+.PHONY: check fmt vet build test race differential obsgate fuzz-smoke bench bench-all bench-compare
 
 # The pre-PR gate: formatting, static analysis, build, race-enabled tests,
-# the multi-query differential suite under the race detector, and the
-# disabled-hooks overhead gate.
-check: fmt vet build race differential obsgate
+# the multi-query differential suite under the race detector, the
+# disabled-hooks overhead gate, and a short fuzz of the storage decoders.
+check: fmt vet build race differential obsgate fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -31,6 +31,14 @@ differential:
 	go test -race -count=1 -run 'TestDifferential|TestLemma|TestStress|TestDistanceWithin|TestMinkowski|TestBufferConcurrency|TestDiskConcurrent|TestPagerSingleflight' \
 		./internal/msq/ ./internal/store/ ./internal/vec/
 
+# A short fuzz of the persistent-storage decoders: corrupt page records
+# and manifests must produce errors, never panics or over-allocation. The
+# committed seed corpora cover the interesting boundaries; 30 seconds per
+# target explores beyond them on every check.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzPageDecode -fuzztime=30s ./internal/store/
+	go test -run='^$$' -fuzz=FuzzManifestDecode -fuzztime=30s ./internal/store/
+
 # The observability overhead gate: with no tracer installed, the hooked
 # page loop must run within 2% of the bare loop. Timing-sensitive, so it
 # runs without the race detector (under -race the test skips itself).
@@ -51,6 +59,7 @@ bench:
 	go run ./cmd/msqbench -experiment obs
 	go run ./cmd/msqbench -experiment distobs
 	go run ./cmd/msqbench -experiment load
+	go run ./cmd/msqbench -experiment storage
 
 # Every benchmark in the repository, including the paper-figure suites.
 bench-all:
@@ -73,9 +82,11 @@ bench-compare:
 	go run ./cmd/msqbench -experiment obs -obs-out .bench-fresh/BENCH_obs.json > /dev/null
 	go run ./cmd/msqbench -experiment distobs -distobs-out .bench-fresh/BENCH_distobs.json > /dev/null
 	go run ./cmd/msqbench -experiment load -load-out .bench-fresh/BENCH_load.json > /dev/null
+	go run ./cmd/msqbench -experiment storage -storage-out .bench-fresh/BENCH_storage.json > /dev/null
 	go run ./cmd/benchcompare -tolerance 0.10 -speedup-tolerance 0.50 \
 		BENCH_kernels.json .bench-fresh/BENCH_kernels.json \
 		BENCH_parallel_intra.json .bench-fresh/BENCH_parallel_intra.json \
 		BENCH_obs.json .bench-fresh/BENCH_obs.json \
 		BENCH_distobs.json .bench-fresh/BENCH_distobs.json \
-		BENCH_load.json .bench-fresh/BENCH_load.json
+		BENCH_load.json .bench-fresh/BENCH_load.json \
+		BENCH_storage.json .bench-fresh/BENCH_storage.json

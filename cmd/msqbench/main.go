@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs|distobs|load]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs|distobs|load|storage]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
 //	         [-kernels-out BENCH_kernels.json]
 //	         [-obs-out BENCH_obs.json]
 //	         [-distobs-out BENCH_distobs.json]
 //	         [-load-out BENCH_load.json]
+//	         [-storage-out BENCH_storage.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
@@ -53,6 +54,13 @@
 // bit-identical to the unbatched sequential path, and writes the results
 // to -load-out as JSON.
 //
+// The storage experiment measures the file-backed page store (pread and
+// mmap modes) against the simulated disk on the scan engine: one m-query
+// batch per backend run cold (empty buffer, every page fetched) and warm
+// (buffer covering the dataset), verifying that every backend returned
+// answers, statistics and I/O counters bit-identical to the simulated
+// reference, and writes the results to -storage-out as JSON.
+//
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
 package main
@@ -82,15 +90,16 @@ func main() {
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
 		distObsOut = flag.String("distobs-out", "BENCH_distobs.json", "output file for the distobs experiment's JSON results")
 		loadOut    = flag.String("load-out", "BENCH_load.json", "output file for the load experiment's JSON results")
+		storageOut = flag.String("storage-out", "BENCH_storage.json", "output file for the storage experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut, *distObsOut, *loadOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut, *distObsOut, *loadOut, *storageOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut, distObsOut, loadOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut, distObsOut, loadOut, storageOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -104,7 +113,8 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
-		"intra": true, "kernels": true, "obs": true, "distobs": true, "load": true}
+		"intra": true, "kernels": true, "obs": true, "distobs": true, "load": true,
+		"storage": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -158,7 +168,8 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	needObs := want("obs")
 	needDistObs := want("distobs")
 	needLoad := want("load")
-	if !needSweep && !needParallel && !needChaos && !needIntra && !needObs && !needDistObs && !needLoad {
+	needStorage := want("storage")
+	if !needSweep && !needParallel && !needChaos && !needIntra && !needObs && !needDistObs && !needLoad && !needStorage {
 		return nil
 	}
 
@@ -323,6 +334,30 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", loadOut)
+	}
+
+	if needStorage {
+		var results []*experiments.StorageResult
+		for _, wl := range workloads {
+			res, err := experiments.RunStorage(wl.w, sc.BaseM)
+			if err != nil {
+				return err
+			}
+			for _, r := range res.Runs {
+				if !r.Identical {
+					return fmt.Errorf("storage: %s/%s backend diverged from the simulated-disk reference",
+						r.Workload, r.Backend)
+				}
+			}
+			if err := emit(res.Figure()); err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+		if err := experiments.WriteStorageJSONFile(storageOut, results); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", storageOut)
 	}
 
 	if needParallel {

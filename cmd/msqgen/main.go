@@ -1,18 +1,22 @@
 // Command msqgen generates synthetic datasets (the paper-data substitutes)
-// and stores them in gob files for reuse by msqexplore and custom
-// experiments.
+// and stores them for reuse by msqexplore, msqserver -data, and custom
+// experiments. The default output is a persistent dataset directory in the
+// checksummed page-store format (servable without loading into memory);
+// -format gob keeps the legacy single-file encoding.
 //
 // Usage:
 //
-//	msqgen -out data.gob -kind uniform|nearuniform|clustered
-//	       [-n 100000] [-dim 20] [-clusters 10] [-spread 0.05]
-//	       [-intrinsic 8] [-histogram] [-noise 0.0] [-seed 1]
+//	msqgen -out data.dir -kind uniform|nearuniform|clustered
+//	       [-format dir|gob] [-pagecap 0] [-n 100000] [-dim 20]
+//	       [-clusters 10] [-spread 0.05] [-intrinsic 8] [-histogram]
+//	       [-noise 0.0] [-seed 1]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"metricdb/internal/dataset"
 	"metricdb/internal/store"
@@ -20,7 +24,9 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "", "output file (required)")
+		out       = flag.String("out", "", "output path (required)")
+		format    = flag.String("format", "dir", "dir (persistent page store) or gob (legacy single file)")
+		pagecap   = flag.Int("pagecap", 0, "items per page for -format dir (0 derives from 32 KB blocks)")
 		kind      = flag.String("kind", "uniform", "uniform, nearuniform or clustered")
 		n         = flag.Int("n", 100000, "number of items")
 		dim       = flag.Int("dim", 20, "dimensionality")
@@ -32,13 +38,13 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*out, *kind, *n, *dim, *clusters, *spread, *intrinsic, *histogram, *noise, *seed); err != nil {
+	if err := run(*out, *format, *pagecap, *kind, *n, *dim, *clusters, *spread, *intrinsic, *histogram, *noise, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "msqgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, kind string, n, dim, clusters int, spread float64, intrinsic int, histogram bool, noise float64, seed int64) error {
+func run(out, format string, pagecap int, kind string, n, dim, clusters int, spread float64, intrinsic int, histogram bool, noise float64, seed int64) error {
 	if out == "" {
 		return fmt.Errorf("-out is required")
 	}
@@ -60,9 +66,23 @@ func run(out, kind string, n, dim, clusters int, spread float64, intrinsic int, 
 	if err != nil {
 		return err
 	}
-	if err := dataset.WriteFile(out, items); err != nil {
+	switch format {
+	case "dir":
+		err = dataset.SaveDir(out, items, dataset.SaveOptions{
+			PageCapacity: pagecap,
+			Attrs: map[string]string{
+				"kind": kind,
+				"seed": strconv.FormatInt(seed, 10),
+			},
+		})
+	case "gob":
+		err = dataset.WriteFile(out, items)
+	default:
+		return fmt.Errorf("unknown format %q (want dir or gob)", format)
+	}
+	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d %d-d items (%s) to %s\n", len(items), dim, kind, out)
+	fmt.Printf("wrote %d %d-d items (%s, %s format) to %s\n", len(items), dim, kind, format, out)
 	return nil
 }

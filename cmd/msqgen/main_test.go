@@ -1,10 +1,12 @@
 package main
 
 import (
+	"math"
 	"path/filepath"
 	"testing"
 
 	"metricdb/internal/dataset"
+	"metricdb/internal/store"
 )
 
 func TestRunGeneratesAllKinds(t *testing.T) {
@@ -19,7 +21,7 @@ func TestRunGeneratesAllKinds(t *testing.T) {
 	}
 	for _, c := range cases {
 		out := filepath.Join(dir, c.kind+".gob")
-		if err := run(out, c.kind, 500, c.dim, 4, 0.05, 4, c.kind == "clustered", 0, 7); err != nil {
+		if err := run(out, "gob", 0, c.kind, 500, c.dim, 4, 0.05, 4, c.kind == "clustered", 0, 7); err != nil {
 			t.Fatalf("%s: %v", c.kind, err)
 		}
 		items, err := dataset.ReadFile(out)
@@ -32,14 +34,62 @@ func TestRunGeneratesAllKinds(t *testing.T) {
 	}
 }
 
+// TestRunDirFormatRoundTrip: the default dir format must load back the
+// exact items the gob format records — the two encodings of one generator
+// run are bit-identical — and the manifest carries the provenance attrs.
+func TestRunDirFormatRoundTrip(t *testing.T) {
+	base := t.TempDir()
+	gobOut := filepath.Join(base, "ds.gob")
+	dirOut := filepath.Join(base, "ds.dir")
+	if err := run(gobOut, "gob", 0, "clustered", 400, 5, 4, 0.05, 0, false, 0.1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dirOut, "dir", 16, "clustered", 400, 5, 4, 0.05, 0, false, 0.1, 9); err != nil {
+		t.Fatal(err)
+	}
+	fromGob, err := dataset.ReadAny(gobOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := dataset.ReadAny(dirOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromGob) != len(fromDir) {
+		t.Fatalf("%d gob items vs %d dir items", len(fromGob), len(fromDir))
+	}
+	for i := range fromGob {
+		if fromGob[i].ID != fromDir[i].ID || fromGob[i].Label != fromDir[i].Label {
+			t.Fatalf("item %d metadata differs", i)
+		}
+		for d := range fromGob[i].Vec {
+			if math.Float64bits(fromGob[i].Vec[d]) != math.Float64bits(fromDir[i].Vec[d]) {
+				t.Fatalf("item %d coord %d differs across formats", i, d)
+			}
+		}
+	}
+	fd, err := store.OpenFileDisk(dirOut, store.FileDiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close() //nolint:errcheck
+	man := fd.Manifest()
+	if man.Attrs["kind"] != "clustered" || man.Attrs["seed"] != "9" || man.PageCapacity != 16 {
+		t.Errorf("manifest provenance: %+v", man)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("", "uniform", 10, 2, 1, 0, 1, false, 0, 1); err == nil {
+	if err := run("", "dir", 0, "uniform", 10, 2, 1, 0, 1, false, 0, 1); err == nil {
 		t.Error("missing -out accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "x"), "weird", 10, 2, 1, 0, 1, false, 0, 1); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "x"), "dir", 0, "weird", 10, 2, 1, 0, 1, false, 0, 1); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "x"), "nearuniform", 10, 2, 1, 0, 99, false, 0, 1); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "x"), "tar", 0, "uniform", 10, 2, 1, 0, 1, false, 0, 1); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "x"), "dir", 0, "nearuniform", 10, 2, 1, 0, 99, false, 0, 1); err == nil {
 		t.Error("bad intrinsic dimension accepted")
 	}
 }

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	msqserver -addr :7707 [-data file.gob] [-n 20000] [-dim 16]
+//	msqserver -addr :7707 [-data file.gob|dataset-dir] [-mmap]
+//	          [-n 20000] [-dim 16]
 //	          [-engine scan|xtree|vafile] [-concurrency 1]
 //	          [-max-conns 0] [-max-request-bytes 1048576]
 //	          [-read-timeout 0] [-write-timeout 10s] [-drain 5s]
@@ -33,6 +34,13 @@
 // requests that cannot meet their deadline budget (request deadline_ms, or
 // -admit-slo when absent) are shed early with a structured overload error
 // and a retry-after hint, and at most -admit-queue requests wait at once.
+//
+// When -data names a dataset directory written by msqgen (the persistent
+// page-store format), the server serves data pages from the file system —
+// pread by default, memory-mapped with -mmap — verifying page checksums on
+// every read, and /metrics additionally exports metricdb_storage_* real-I/O
+// counters. A gob -data file or a generated dataset serves from memory as
+// before.
 //
 // -admin binds a second, HTTP, listener with the observability surface:
 // GET /metrics (Prometheus text: per-phase latency histograms, buffer and
@@ -65,7 +73,8 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7707", "listen address")
-		dataFile = flag.String("data", "", "dataset file written by msqgen (default: generate)")
+		dataFile = flag.String("data", "", "dataset written by msqgen: directory or gob file (default: generate)")
+		mmap     = flag.Bool("mmap", false, "memory-map the page file of a -data dataset directory")
 		n        = flag.Int("n", 20000, "generated dataset size")
 		dim      = flag.Int("dim", 16, "generated dataset dimensionality")
 		engine   = flag.String("engine", "xtree", "physical organization: scan, xtree or vafile")
@@ -104,29 +113,45 @@ func main() {
 			DefaultSLO: *admitSLO,
 		}
 	}
-	if err := run(*addr, *dataFile, *n, *dim, *engine, cfg, *drain, *adminAddr, *slowQuery, *node); err != nil {
+	if err := run(*addr, *dataFile, *mmap, *n, *dim, *engine, cfg, *drain, *adminAddr, *slowQuery, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "msqserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataFile string, n, dim int, engine string, cfg wire.ServerConfig, drain time.Duration, adminAddr string, slowQuery time.Duration, node string) error {
-	var items []metricdb.Item
-	var err error
+func run(addr, dataFile string, mmap bool, n, dim int, engine string, cfg wire.ServerConfig, drain time.Duration, adminAddr string, slowQuery time.Duration, node string) error {
+	src := dataSource{mmap: mmap}
 	if dataFile != "" {
-		items, err = dataset.ReadFile(dataFile)
+		st, err := os.Stat(dataFile)
+		if err != nil {
+			return err
+		}
+		if st.IsDir() {
+			src.dir = dataFile
+		} else {
+			if src.items, err = dataset.ReadAny(dataFile); err != nil {
+				return err
+			}
+		}
 	} else {
-		items, err = dataset.Clustered(dataset.ClusteredConfig{Seed: 1, N: n, Dim: dim, Clusters: 8})
-	}
-	if err != nil {
-		return err
+		items, err := dataset.Clustered(dataset.ClusteredConfig{Seed: 1, N: n, Dim: dim, Clusters: 8})
+		if err != nil {
+			return err
+		}
+		src.items = items
 	}
 
-	srv, lis, adminLis, err := serve(addr, items, engine, cfg, adminAddr, slowQuery, node)
+	db, srv, lis, adminLis, err := serve(addr, src, engine, cfg, adminAddr, slowQuery, node)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %d items (%s engine) on %s\n", len(items), engine, lis.Addr())
+	defer db.Close() //nolint:errcheck
+	if mode, ok := db.Stored(); ok {
+		fmt.Printf("serving %d items (%s engine, %s storage from %s) on %s\n",
+			db.Len(), engine, mode, dataFile, lis.Addr())
+	} else {
+		fmt.Printf("serving %d items (%s engine) on %s\n", db.Len(), engine, lis.Addr())
+	}
 	if adminLis != nil {
 		fmt.Printf("admin HTTP (metrics, traces, pprof) on %s\n", adminLis.lis.Addr())
 		go func() {
@@ -174,17 +199,34 @@ type adminListener struct {
 	lis net.Listener
 }
 
+// dataSource selects where the served database lives: in-memory items, or
+// a persistent dataset directory read through a file-backed page store.
+type dataSource struct {
+	items []metricdb.Item
+	dir   string
+	mmap  bool
+}
+
 // serve builds the database and binds the listeners (separated for tests).
 // When adminAddr is non-empty the query path runs with a tracer installed
-// and the returned adminListener serves the observability endpoints.
-func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerConfig, adminAddr string, slowQuery time.Duration, node string) (*wire.Server, net.Listener, *adminListener, error) {
-	opts := metricdb.Options{Engine: metricdb.EngineKind(engine)}
+// and the returned adminListener serves the observability endpoints. The
+// caller owns the returned DB and must Close it after shutdown.
+func serve(addr string, src dataSource, engine string, cfg wire.ServerConfig, adminAddr string, slowQuery time.Duration, node string) (*metricdb.DB, *wire.Server, net.Listener, *adminListener, error) {
+	opts := metricdb.Options{Engine: metricdb.EngineKind(engine), Mmap: src.mmap}
 	if err := opts.Validate(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	db, err := metricdb.Open(items, opts)
+	var (
+		db  *metricdb.DB
+		err error
+	)
+	if src.dir != "" {
+		db, err = metricdb.OpenStored(src.dir, opts)
+	} else {
+		db, err = metricdb.Open(src.items, opts)
+	}
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 
 	proc := db.Processor()
@@ -196,11 +238,13 @@ func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerCon
 	}
 	srv, err := wire.NewServerWithConfig(proc, cfg)
 	if err != nil {
-		return nil, nil, nil, err
+		db.Close() //nolint:errcheck
+		return nil, nil, nil, nil, err
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, nil, err
+		db.Close() //nolint:errcheck
+		return nil, nil, nil, nil, err
 	}
 
 	var admin *adminListener
@@ -208,7 +252,8 @@ func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerCon
 		alis, err := net.Listen("tcp", adminAddr)
 		if err != nil {
 			lis.Close() //nolint:errcheck
-			return nil, nil, nil, err
+			db.Close()  //nolint:errcheck
+			return nil, nil, nil, nil, err
 		}
 		reg := newRegistry(tracer, db, srv, engine)
 		admin = &adminListener{
@@ -219,7 +264,7 @@ func serve(addr string, items []metricdb.Item, engine string, cfg wire.ServerCon
 			lis: alis,
 		}
 	}
-	return srv, lis, admin, nil
+	return db, srv, lis, admin, nil
 }
 
 // newRegistry registers gauges and counters over the live database, buffer
@@ -237,6 +282,18 @@ func newRegistry(tracer *obs.Tracer, db *metricdb.DB, srv *wire.Server, engine s
 		func() float64 { return float64(db.IOStats().SeqReads) })
 	reg.Counter("metricdb_disk_reads_total", `kind="rand"`, "Page reads that reached the disk.",
 		func() float64 { return float64(db.IOStats().RandReads) })
+
+	if mode, ok := db.Stored(); ok {
+		reg.Gauge("metricdb_storage_mode", fmt.Sprintf("mode=%q", mode),
+			"Always 1; the label carries the file-backed storage mode (pread or mmap).",
+			func() float64 { return 1 })
+		reg.Counter("metricdb_storage_preads_total", "", "Real page reads issued to the file system.",
+			func() float64 { st, _ := db.StorageStats(); return float64(st.Preads) })
+		reg.Counter("metricdb_storage_bytes_read_total", "", "Bytes fetched from the page file.",
+			func() float64 { st, _ := db.StorageStats(); return float64(st.BytesRead) })
+		reg.Counter("metricdb_storage_checksum_failures_total", "", "Page reads rejected by checksum or structural verification.",
+			func() float64 { st, _ := db.StorageStats(); return float64(st.ChecksumFailures) })
+	}
 
 	buf := db.Processor().Engine().Pager().Buffer()
 	reg.Counter("metricdb_buffer_hits_total", "", "Buffer-pool lookups served without disk I/O.",

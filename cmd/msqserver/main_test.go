@@ -16,12 +16,13 @@ import (
 
 func TestServeEndToEnd(t *testing.T) {
 	items := dataset.Uniform(3, 500, 4)
-	srv, lis, _, err := serve("127.0.0.1:0", items, "xtree", wire.ServerConfig{}, "", 0, "server")
+	db, srv, lis, _, err := serve("127.0.0.1:0", dataSource{items: items}, "xtree", wire.ServerConfig{}, "", 0, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
 	go srv.Serve(lis) //nolint:errcheck
 	defer srv.Close()
+	defer db.Close() //nolint:errcheck
 
 	c, err := wire.Dial(lis.Addr().String())
 	if err != nil {
@@ -44,7 +45,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 func TestServeRejectsBadEngine(t *testing.T) {
 	items := dataset.Uniform(4, 50, 3)
-	if _, _, _, err := serve("127.0.0.1:0", items, "btree", wire.ServerConfig{}, "", 0, "server"); err == nil {
+	if _, _, _, _, err := serve("127.0.0.1:0", dataSource{items: items}, "btree", wire.ServerConfig{}, "", 0, "server"); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
@@ -54,12 +55,13 @@ func TestServeRejectsBadEngine(t *testing.T) {
 // silently dropped connection.
 func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 	items := dataset.Uniform(5, 200, 3)
-	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0, "server")
+	db, srv, lis, _, err := serve("127.0.0.1:0", dataSource{items: items}, "scan", wire.ServerConfig{}, "", 0, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
 	go srv.Serve(lis) //nolint:errcheck
 	defer srv.Close()
+	defer db.Close() //nolint:errcheck
 
 	conn, err := net.Dial("tcp", lis.Addr().String())
 	if err != nil {
@@ -82,10 +84,11 @@ func TestMalformedRequestGetsErrorResponse(t *testing.T) {
 // listener, lets connected clients finish, and Serve returns cleanly.
 func TestGracefulDrain(t *testing.T) {
 	items := dataset.Uniform(6, 300, 3)
-	srv, lis, _, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "", 0, "server")
+	db, srv, lis, _, err := serve("127.0.0.1:0", dataSource{items: items}, "scan", wire.ServerConfig{}, "", 0, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close() //nolint:errcheck
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(lis) }()
 
@@ -120,12 +123,13 @@ func TestGracefulDrain(t *testing.T) {
 // counters and that /debug/traces returns the recorded spans as JSONL.
 func TestAdminEndpoints(t *testing.T) {
 	items := dataset.Uniform(7, 400, 4)
-	srv, lis, admin, err := serve("127.0.0.1:0", items, "scan", wire.ServerConfig{}, "127.0.0.1:0", time.Nanosecond, "server")
+	db, srv, lis, admin, err := serve("127.0.0.1:0", dataSource{items: items}, "scan", wire.ServerConfig{}, "127.0.0.1:0", time.Nanosecond, "server")
 	if err != nil {
 		t.Fatal(err)
 	}
 	go srv.Serve(lis) //nolint:errcheck
 	defer srv.Close()
+	defer db.Close() //nolint:errcheck
 	if admin == nil {
 		t.Fatal("admin listener not built")
 	}
@@ -204,5 +208,70 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(string(explain), `"pages_visited"`) {
 		t.Errorf("/debug/explain has no profile: %.200s", explain)
+	}
+}
+
+// TestServeStoredDataset serves a persistent dataset directory and checks
+// that queries flow from the file-backed page store and that /metrics
+// exports the metricdb_storage_* counters.
+func TestServeStoredDataset(t *testing.T) {
+	dir := t.TempDir()
+	items := dataset.Uniform(8, 600, 4)
+	if err := dataset.SaveDir(dir, items, dataset.SaveOptions{PageCapacity: 32, NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	db, srv, lis, admin, err := serve("127.0.0.1:0", dataSource{dir: dir}, "scan",
+		wire.ServerConfig{}, "127.0.0.1:0", -1, "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+	defer db.Close()              //nolint:errcheck
+	go admin.srv.Serve(admin.lis) //nolint:errcheck
+	defer admin.srv.Close()
+
+	if mode, ok := db.Stored(); !ok || mode == "" {
+		t.Fatalf("served DB is not storage-backed (mode %q, ok %v)", mode, ok)
+	}
+
+	c, err := wire.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	answers, stats, err := c.Query(wire.QuerySpec{
+		Vector: []float64{0.5, 0.5, 0.5, 0.5}, Kind: "knn", K: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 9 || stats.DistCalcs == 0 {
+		t.Errorf("answers=%d stats=%+v", len(answers), stats)
+	}
+
+	resp, err := http.Get("http://" + admin.lis.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		`metricdb_storage_mode{mode="pread"} 1`,
+		"metricdb_storage_preads_total",
+		"metricdb_storage_bytes_read_total",
+		"metricdb_storage_checksum_failures_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	st, ok := db.StorageStats()
+	if !ok || st.Preads == 0 {
+		t.Errorf("storage stats after query: %+v ok=%v", st, ok)
 	}
 }

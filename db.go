@@ -3,6 +3,7 @@ package metricdb
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"metricdb/internal/engine"
 	"metricdb/internal/msq"
@@ -59,6 +60,10 @@ type Options struct {
 	// VAFileBits is the bits-per-dimension of the VA-file engine
 	// (0 selects 6).
 	VAFileBits int
+	// Mmap serves a stored database by memory-mapping its page file
+	// instead of issuing preads. Only OpenStored consults it; on platforms
+	// without mmap support the disk silently falls back to pread.
+	Mmap bool
 }
 
 // XTreeOptions exposes the X-tree tuning knobs.
@@ -154,6 +159,9 @@ type DB struct {
 	eng   engine.Engine
 	proc  *msq.Processor
 	opts  Options
+	// closers holds the file-backed disks of a stored database; nil for
+	// the in-memory databases Open builds.
+	closers []io.Closer
 }
 
 // Open builds a database over items. Items must be numbered 0..n-1 (see

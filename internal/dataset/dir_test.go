@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"metricdb/internal/store"
+)
+
+// sameItems is bit-exact equality of two item slices.
+func sameItems(a, b []store.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Label != b[i].Label || a[i].Vec.Dim() != b[i].Vec.Dim() {
+			return false
+		}
+		for d := range a[i].Vec {
+			if math.Float64bits(a[i].Vec[d]) != math.Float64bits(b[i].Vec[d]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	items, err := Clustered(ClusteredConfig{Seed: 7, N: 211, Dim: 9, Clusters: 4, NoiseFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[string]string{"kind": "clustered", "seed": "7"}
+	if err := SaveDir(dir, items, SaveOptions{PageCapacity: 16, Attrs: attrs}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameItems(items, got) {
+		t.Fatal("LoadDir items differ from saved items")
+	}
+	fd, err := store.OpenFileDisk(dir, store.FileDiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close() //nolint:errcheck
+	man := fd.Manifest()
+	if man.Attrs["kind"] != "clustered" || man.PageCapacity != 16 || man.Dim != 9 || man.Items != 211 {
+		t.Errorf("manifest metadata: %+v", man)
+	}
+}
+
+// TestReadAnyBothFormats: ReadAny must load both the persistent directory
+// format and a legacy gob file, returning identical items for identical
+// inputs.
+func TestReadAnyBothFormats(t *testing.T) {
+	items := Uniform(3, 97, 5)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := SaveDir(dir, items, SaveOptions{PageCapacity: 8}); err != nil {
+		t.Fatal(err)
+	}
+	gobPath := filepath.Join(t.TempDir(), "ds.gob")
+	if err := WriteFile(gobPath, items); err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := ReadAny(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGob, err := ReadAny(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameItems(items, fromDir) || !sameItems(fromDir, fromGob) {
+		t.Fatal("ReadAny results differ across formats")
+	}
+	if _, err := ReadAny(filepath.Join(dir, "no-such-thing")); err == nil {
+		t.Error("ReadAny of a missing path succeeded")
+	}
+}
+
+func TestSaveDirRejectsMixedDimensions(t *testing.T) {
+	items := Uniform(5, 4, 3)
+	items[2].Vec = items[2].Vec[:2]
+	if err := SaveDir(t.TempDir(), items, SaveOptions{PageCapacity: 2}); err == nil {
+		t.Fatal("mixed-dimension save succeeded")
+	}
+}
+
+func TestSaveDirEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveDir(dir, nil, SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty dataset loaded %d items", len(got))
+	}
+}

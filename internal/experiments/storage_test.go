@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+func TestRunStorageEquivalence(t *testing.T) {
+	sc, err := ScaleByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Astronomy(sc)
+	res, err := RunStorage(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("%d runs, want sim/pread/mmap", len(res.Runs))
+	}
+	if res.Runs[0].Backend != "sim" {
+		t.Fatalf("first run is %q, want the sim reference", res.Runs[0].Backend)
+	}
+	for _, run := range res.Runs {
+		if !run.Identical {
+			t.Errorf("%s backend diverged from the sim reference", run.Backend)
+		}
+		if run.PagesRead != res.Runs[0].PagesRead || run.DistCalcs != res.Runs[0].DistCalcs {
+			t.Errorf("%s work counters differ: %+v vs %+v", run.Backend, run, res.Runs[0])
+		}
+		if run.WarmDiskReads != 0 {
+			t.Errorf("%s warm batch read %d pages from the backend; buffer should cover all",
+				run.Backend, run.WarmDiskReads)
+		}
+		if run.ColdSeconds <= 0 || run.WarmSeconds <= 0 {
+			t.Errorf("%s wall clocks not recorded: %+v", run.Backend, run)
+		}
+	}
+	pread := res.Runs[1]
+	if pread.Backend != "pread" || pread.Preads == 0 || pread.BytesRead == 0 {
+		t.Errorf("pread backend recorded no real I/O: %+v", pread)
+	}
+	if res.Pages == 0 || res.PageCapacity == 0 {
+		t.Errorf("layout shape missing: %+v", res)
+	}
+	fig := res.Figure()
+	if len(fig.XVals) != 3 {
+		t.Errorf("figure has %d x-values", len(fig.XVals))
+	}
+}

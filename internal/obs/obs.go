@@ -74,6 +74,12 @@ const (
 	// PhaseAdmitWait is the time one admitted single query spent in the
 	// admission queue before its batch was released (internal/admit).
 	PhaseAdmitWait
+	// PhaseStorageRead is one real-I/O page read of a file-backed disk
+	// (store.FileDisk): the pread (or mapped copy), checksum verification
+	// and decode of one page record. A nested refinement of the pager's
+	// PhasePageFetch span that attributes how much of a miss was spent in
+	// actual storage rather than singleflight bookkeeping.
+	PhaseStorageRead
 
 	// NumPhases is the number of phases (array sizing).
 	NumPhases = int(iota)
@@ -91,6 +97,7 @@ var phaseNames = [NumPhases]string{
 	"wire_decode",
 	"wire_encode",
 	"admit_wait",
+	"storage_read",
 }
 
 // String returns the phase's label value.

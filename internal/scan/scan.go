@@ -85,6 +85,31 @@ func NewWithConfig(items []store.Item, cfg Config) (*Engine, error) {
 	return &Engine{pager: pager, numItems: len(items), pageLens: lens}, nil
 }
 
+// NewStored builds a scan engine over an existing pager whose page sizes
+// are already known — typically from the manifest of a persistent dataset
+// directory (store.FileDisk). Unlike NewFromPager it performs no warm-up
+// reads, so opening a stored database touches the disk only when the first
+// query runs.
+func NewStored(pager *store.Pager, numItems int, pageLens []int) (*Engine, error) {
+	if pager == nil {
+		return nil, fmt.Errorf("scan: nil pager")
+	}
+	if len(pageLens) != pager.NumPages() {
+		return nil, fmt.Errorf("scan: %d page lengths for %d pages", len(pageLens), pager.NumPages())
+	}
+	total := 0
+	for i, n := range pageLens {
+		if n < 0 {
+			return nil, fmt.Errorf("scan: page %d has negative length %d", i, n)
+		}
+		total += n
+	}
+	if total != numItems {
+		return nil, fmt.Errorf("scan: page lengths sum to %d items, expected %d", total, numItems)
+	}
+	return &Engine{pager: pager, numItems: numItems, pageLens: append([]int(nil), pageLens...)}, nil
+}
+
 // NewFromPager builds a scan engine over an existing pager holding numItems
 // items. Page sizes are determined with one warm-up pass, after which the
 // pager's statistics are reset.

@@ -1,0 +1,279 @@
+// On-disk dataset format.
+//
+// A persistent dataset is a directory holding two kinds of files:
+//
+//   - one page file ("pages-g<generation>.dat"): the data pages of the
+//     dataset encoded back to back, each as a self-describing record with a
+//     trailing CRC-32C;
+//   - the manifest ("MANIFEST"): a JSON superblock naming the live page
+//     file and carrying per-page metadata — byte offset, length, item
+//     count and the same CRC-32C — plus dataset-wide facts (item count,
+//     dimensionality, page capacity, free-form attributes).
+//
+// The manifest is the single source of truth: a page file is invisible
+// until a manifest referencing it has been atomically renamed into place
+// (see WriteDataset), and every read verifies the page record against both
+// the embedded and the manifest checksum, so torn or bit-rotted pages are
+// detected, never silently served.
+//
+// Page record layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "MDPG"
+//	4       4     page ID (uint32)
+//	8       4     item count n (uint32)
+//	12      4     dimensionality d (uint32)
+//	16      n*(16+8d)  items: id uint64, label int64, d float64 coordinates
+//	…       4     CRC-32C (Castagnoli) over bytes [0, len-4)
+//
+// Float64 coordinates are stored as their IEEE-754 bit patterns, so a
+// decoded page is bit-identical to the encoded one — the property the
+// FileDisk-vs-Disk differential suite (internal/msq) depends on.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"strings"
+
+	"metricdb/internal/vec"
+)
+
+// Format constants.
+const (
+	// ManifestName is the published manifest file name inside a dataset
+	// directory.
+	ManifestName = "MANIFEST"
+	// manifestTmpName is the staging name the manifest is written under
+	// before the atomic rename.
+	manifestTmpName = "MANIFEST.tmp"
+	// ManifestMagic guards against loading unrelated JSON documents.
+	ManifestMagic = "metricdb-dataset-dir"
+	// FormatVersion is the current on-disk format version.
+	FormatVersion = 1
+
+	// pageMagic opens every page record ("MDPG").
+	pageMagic = uint32('M') | uint32('D')<<8 | uint32('P')<<16 | uint32('G')<<24
+	// pageHeaderLen is the fixed prefix before the items.
+	pageHeaderLen = 16
+	// pageTrailerLen is the trailing checksum.
+	pageTrailerLen = 4
+	// itemFixedLen is the per-item overhead: id (8) + label (8).
+	itemFixedLen = 16
+	// maxPageDim and maxPageItems bound the decoded sizes so a corrupt
+	// header cannot drive a huge allocation before the length check.
+	maxPageDim   = 1 << 20
+	maxPageItems = 1 << 24
+)
+
+// Typed decode errors. ErrCorruptPage wraps every checksum or structural
+// page failure so callers (the fault taxonomy, degraded-mode handling) can
+// classify storage corruption with errors.Is without parsing messages.
+var (
+	// ErrCorruptPage marks a page record whose bytes fail validation:
+	// bad magic, inconsistent lengths, or a checksum mismatch (torn
+	// write, bit rot, misdirected read).
+	ErrCorruptPage = errors.New("store: corrupt page record")
+	// ErrBadManifest marks a manifest that is unreadable or structurally
+	// invalid.
+	ErrBadManifest = errors.New("store: invalid dataset manifest")
+	// ErrNoDataset marks a directory holding no published manifest.
+	ErrNoDataset = errors.New("store: no dataset manifest")
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PageEntry is the manifest's record of one page in the page file.
+type PageEntry struct {
+	// Offset is the byte offset of the page record in the page file.
+	Offset int64 `json:"offset"`
+	// Length is the full record length in bytes, checksum included.
+	Length int64 `json:"length"`
+	// Items is the number of items on the page.
+	Items int `json:"items"`
+	// CRC32C is the record checksum, duplicated from the record trailer
+	// so a reader can verify a page against the manifest alone.
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// Manifest is the dataset superblock. It is the unit of atomic publication:
+// a dataset build writes pages and a staged manifest, fsyncs both, and
+// renames the manifest into place — a crashed build leaves either the old
+// manifest or the new one, never a mixture.
+type Manifest struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Generation increases by one per successful rebuild of the dataset
+	// in the same directory; it tags the page file name so a rebuild
+	// never overwrites the pages the published manifest references.
+	Generation int64 `json:"generation"`
+	// Items, Dim and PageCapacity describe the dataset: total item
+	// count, vector dimensionality, and the maximum items per page.
+	Items        int `json:"items"`
+	Dim          int `json:"dim"`
+	PageCapacity int `json:"page_capacity"`
+	// PagesFile is the page file's name within the dataset directory.
+	PagesFile string `json:"pages_file"`
+	// PagesBytes is the page file's total length in bytes.
+	PagesBytes int64 `json:"pages_bytes"`
+	// Attrs carries free-form dataset attributes (generator kind, seed,
+	// …) for provenance; the storage layer never interprets them.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Pages lists every page in PageID order.
+	Pages []PageEntry `json:"pages"`
+}
+
+// EncodePage serializes one page record. Every item must have exactly dim
+// coordinates.
+func EncodePage(p *Page, dim int) ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("store: encode of nil page")
+	}
+	if p.ID < 0 {
+		return nil, fmt.Errorf("store: encode of page with negative ID %d", p.ID)
+	}
+	if dim < 0 || dim > maxPageDim {
+		return nil, fmt.Errorf("store: page dimensionality %d outside [0, %d]", dim, maxPageDim)
+	}
+	if len(p.Items) > maxPageItems {
+		return nil, fmt.Errorf("store: page holds %d items, format maximum is %d", len(p.Items), maxPageItems)
+	}
+	size := pageHeaderLen + len(p.Items)*(itemFixedLen+8*dim) + pageTrailerLen
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, pageMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Items)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	for i := range p.Items {
+		it := &p.Items[i]
+		if it.Vec.Dim() != dim {
+			return nil, fmt.Errorf("store: page %d item %d has dimension %d, want %d", p.ID, i, it.Vec.Dim(), dim)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.Label))
+		for _, c := range it.Vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+// DecodePage deserializes one page record, verifying structure and the
+// embedded checksum. It never panics on arbitrary input: every length is
+// validated against the actual data size before any allocation, and all
+// failures return an error wrapping ErrCorruptPage.
+func DecodePage(data []byte) (*Page, error) {
+	if len(data) < pageHeaderLen+pageTrailerLen {
+		return nil, fmt.Errorf("%w: record of %d bytes is shorter than the %d-byte envelope",
+			ErrCorruptPage, len(data), pageHeaderLen+pageTrailerLen)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != pageMagic {
+		return nil, fmt.Errorf("%w: bad magic %#08x", ErrCorruptPage, m)
+	}
+	id := binary.LittleEndian.Uint32(data[4:8])
+	count := binary.LittleEndian.Uint32(data[8:12])
+	dim := binary.LittleEndian.Uint32(data[12:16])
+	if id > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: page ID %d overflows PageID", ErrCorruptPage, id)
+	}
+	if count > maxPageItems || dim > maxPageDim {
+		return nil, fmt.Errorf("%w: implausible header (items %d, dim %d)", ErrCorruptPage, count, dim)
+	}
+	want := uint64(pageHeaderLen) + uint64(count)*uint64(itemFixedLen+8*dim) + pageTrailerLen
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("%w: record is %d bytes, header implies %d", ErrCorruptPage, len(data), want)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(data)-pageTrailerLen:])
+	if got := crc32.Checksum(data[:len(data)-pageTrailerLen], castagnoli); got != sum {
+		return nil, fmt.Errorf("%w: checksum %#08x, record claims %#08x", ErrCorruptPage, got, sum)
+	}
+	p := &Page{ID: PageID(id), Items: make([]Item, count)}
+	off := pageHeaderLen
+	for i := range p.Items {
+		it := &p.Items[i]
+		it.ID = ItemID(binary.LittleEndian.Uint64(data[off:]))
+		it.Label = int(int64(binary.LittleEndian.Uint64(data[off+8:])))
+		off += itemFixedLen
+		v := make(vec.Vector, dim)
+		for d := range v {
+			v[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		it.Vec = v
+	}
+	return p, nil
+}
+
+// EncodeManifest serializes a manifest as indented JSON (the file is meant
+// to be inspectable with standard tools).
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("store: encode of nil manifest")
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encode manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeManifest parses and validates a manifest document. It never panics
+// on arbitrary input; every failure returns an error wrapping
+// ErrBadManifest.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if m.Magic != ManifestMagic {
+		return nil, fmt.Errorf("%w: magic %q, want %q", ErrBadManifest, m.Magic, ManifestMagic)
+	}
+	if m.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadManifest, m.Version)
+	}
+	if m.Generation < 0 {
+		return nil, fmt.Errorf("%w: negative generation %d", ErrBadManifest, m.Generation)
+	}
+	if m.Items < 0 || m.Dim < 0 || m.Dim > maxPageDim || m.PageCapacity < 0 {
+		return nil, fmt.Errorf("%w: negative or implausible shape (items %d, dim %d, capacity %d)",
+			ErrBadManifest, m.Items, m.Dim, m.PageCapacity)
+	}
+	if len(m.Pages) > 0 {
+		// The page file name must be a plain name inside the dataset
+		// directory: a manifest must not be able to point reads at an
+		// arbitrary filesystem path.
+		if m.PagesFile == "" || strings.ContainsAny(m.PagesFile, "/\\") || m.PagesFile == "." || m.PagesFile == ".." {
+			return nil, fmt.Errorf("%w: page file name %q is not a plain file name", ErrBadManifest, m.PagesFile)
+		}
+	}
+	var end int64
+	var items int64
+	for i, e := range m.Pages {
+		if e.Offset != end {
+			return nil, fmt.Errorf("%w: page %d at offset %d, expected %d (records must be contiguous)",
+				ErrBadManifest, i, e.Offset, end)
+		}
+		if e.Items < 0 || e.Items > maxPageItems {
+			return nil, fmt.Errorf("%w: page %d claims %d items", ErrBadManifest, i, e.Items)
+		}
+		wantLen := int64(pageHeaderLen) + int64(e.Items)*int64(itemFixedLen+8*m.Dim) + pageTrailerLen
+		if e.Length != wantLen {
+			return nil, fmt.Errorf("%w: page %d length %d, shape implies %d", ErrBadManifest, i, e.Length, wantLen)
+		}
+		end += e.Length
+		items += int64(e.Items)
+	}
+	if m.PagesBytes != end {
+		return nil, fmt.Errorf("%w: pages_bytes %d, entries sum to %d", ErrBadManifest, m.PagesBytes, end)
+	}
+	if items != int64(m.Items) {
+		return nil, fmt.Errorf("%w: items %d, page entries sum to %d", ErrBadManifest, m.Items, items)
+	}
+	return &m, nil
+}

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"math"
+	"testing"
+
+	"metricdb/internal/vec"
+)
+
+// FuzzPageDecode throws arbitrary bytes at the page-record decoder. The
+// contract under fuzzing: never panic, never over-allocate from a
+// corrupt header, and on success uphold the structural invariants
+// (re-encoding the decoded page reproduces the input bit for bit, so no
+// two distinct valid records decode to the same page).
+func FuzzPageDecode(f *testing.F) {
+	// Seed corpus: valid records of several shapes plus near-miss
+	// mutations, so the fuzzer starts at the interesting boundaries.
+	seed := func(n, dim int) []byte {
+		items := make([]Item, n)
+		for i := range items {
+			v := make(vec.Vector, dim)
+			for d := range v {
+				v[d] = float64(i)*0.5 - float64(d)
+			}
+			items[i] = Item{ID: ItemID(i), Vec: v, Label: i - 1}
+		}
+		rec, err := EncodePage(&Page{ID: 3, Items: items}, dim)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return rec
+	}
+	f.Add([]byte{})
+	f.Add(seed(0, 0))
+	f.Add(seed(1, 1))
+	f.Add(seed(16, 4))
+	f.Add(seed(5, 20))
+	long := seed(16, 4)
+	long[0] ^= 1 // broken magic
+	f.Add(long)
+	trunc := seed(16, 4)
+	f.Add(trunc[:len(trunc)-7])
+	huge := seed(1, 1)
+	huge[8] = 0xFF // implausible item count
+	huge[9] = 0xFF
+	huge[10] = 0xFF
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePage(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("decoder returned both a page and an error")
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("decoder returned neither page nor error")
+		}
+		if p.ID < 0 {
+			t.Fatalf("decoded negative page ID %d", p.ID)
+		}
+		// The record's dimensionality: from the items when present, from
+		// the header for an empty page (the items carry no evidence).
+		dim := int(uint32(data[12]) | uint32(data[13])<<8 | uint32(data[14])<<16 | uint32(data[15])<<24)
+		if len(p.Items) > 0 {
+			dim = p.Items[0].Vec.Dim()
+		}
+		for i := range p.Items {
+			if p.Items[i].Vec.Dim() != dim {
+				t.Fatal("decoded page mixes dimensionalities")
+			}
+		}
+		re, err := EncodePage(p, dim)
+		if err != nil {
+			t.Fatalf("re-encode of decoded page failed: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatal("decode/encode round trip altered the record")
+		}
+	})
+}
+
+// FuzzManifestDecode throws arbitrary bytes at the manifest decoder: never
+// panic, and any accepted manifest satisfies the structural invariants the
+// FileDisk relies on (contiguous entries, consistent sums, a page file
+// name that cannot escape the dataset directory).
+func FuzzManifestDecode(f *testing.F) {
+	valid := func(n, dim, capacity int) []byte {
+		pages, err := Paginate(testItems(n, dim), capacity)
+		if err != nil {
+			f.Fatal(err)
+		}
+		man := Manifest{
+			Magic: ManifestMagic, Version: FormatVersion, Generation: 2,
+			Items: n, Dim: dim, PageCapacity: capacity,
+			PagesFile: "pages-g00000002.dat",
+			Attrs:     map[string]string{"kind": "fuzz"},
+		}
+		for _, p := range pages {
+			rec, err := EncodePage(p, dim)
+			if err != nil {
+				f.Fatal(err)
+			}
+			man.Pages = append(man.Pages, PageEntry{
+				Offset: man.PagesBytes, Length: int64(len(rec)),
+				Items: len(p.Items), CRC32C: crcOf(rec),
+			})
+			man.PagesBytes += int64(len(rec))
+		}
+		body, err := EncodeManifest(&man)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return body
+	}
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"magic":"metricdb-dataset-dir","version":1}`))
+	f.Add(valid(0, 0, 4))
+	f.Add(valid(40, 4, 16))
+	f.Add(valid(7, 2, 3))
+	evil := valid(7, 2, 3)
+	f.Add([]byte(string(evil)[:len(evil)/2]))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Magic != ManifestMagic || m.Version != FormatVersion {
+			t.Fatal("accepted manifest with wrong magic or version")
+		}
+		if m.Items < 0 || m.Dim < 0 || m.PageCapacity < 0 || m.Generation < 0 {
+			t.Fatal("accepted manifest with negative shape")
+		}
+		var end, items int64
+		for _, e := range m.Pages {
+			if e.Offset != end || e.Items < 0 {
+				t.Fatal("accepted non-contiguous or negative page entry")
+			}
+			end += e.Length
+			items += int64(e.Items)
+		}
+		if end != m.PagesBytes || items != int64(m.Items) {
+			t.Fatal("accepted manifest with inconsistent sums")
+		}
+		if len(m.Pages) > 0 {
+			for _, c := range m.PagesFile {
+				if c == '/' || c == '\\' {
+					t.Fatalf("accepted page file path %q", m.PagesFile)
+				}
+			}
+		}
+		if int64(m.Items)*int64(16+8*m.Dim) > math.MaxInt64/2 {
+			t.Fatal("accepted manifest implying overflowing dataset size")
+		}
+	})
+}

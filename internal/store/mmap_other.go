@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; OpenFileDisk falls back to
+// pread.
+func mmapFile(*os.File, int) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+func munmapFile([]byte) error { return nil }

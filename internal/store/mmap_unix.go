@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the first size bytes of f read-only. size must be positive
+// (a dataset with pages always has a non-empty page file).
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("store: mmap of %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap: %w", err)
+	}
+	return data, nil
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

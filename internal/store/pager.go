@@ -104,8 +104,16 @@ func (p *Pager) ReadPage(pid PageID) (*Page, error) {
 
 // SetTracer installs (or, with nil, removes) the tracer that times the
 // pager's disk reads as page_fetch spans. It may be called at any time,
-// including while reads are in flight.
-func (p *Pager) SetTracer(tr *obs.Tracer) { p.tracer.Store(tr) }
+// including while reads are in flight. When the underlying page source is
+// itself tracer-aware (a FileDisk timing real I/O as storage_read spans),
+// the tracer is forwarded so one installation instruments the whole read
+// path.
+func (p *Pager) SetTracer(tr *obs.Tracer) {
+	p.tracer.Store(tr)
+	if s, ok := p.disk.(interface{ SetTracer(*obs.Tracer) }); ok {
+		s.SetTracer(tr)
+	}
+}
 
 // Tracer returns the installed tracer, or nil.
 func (p *Pager) Tracer() *obs.Tracer { return p.tracer.Load() }

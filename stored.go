@@ -1,0 +1,220 @@
+package metricdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"metricdb/internal/dataset"
+	"metricdb/internal/engine"
+	"metricdb/internal/msq"
+	"metricdb/internal/scan"
+	"metricdb/internal/store"
+	"metricdb/internal/vafile"
+	"metricdb/internal/xtree"
+)
+
+// OpenStored opens a database over a persistent dataset directory — the
+// on-disk format written by dataset.SaveDir and cmd/msqgen. Unlike Open,
+// which paginates in-memory items onto a simulated disk, the returned DB
+// reads its data pages from the file system (pread, or mmap when
+// Options.Mmap is set), verifying each page's checksum on the way; I/O
+// statistics count real reads.
+//
+// Engine mapping:
+//
+//   - EngineScan serves the dataset's own page layout directly, so opening
+//     is free of page reads (sizes come from the manifest) and the scan's
+//     sequential-I/O property holds on the physical file.
+//   - EngineXTree and EngineVAFile build their structure from the loaded
+//     items, then persist their private page layout into a "layout-xtree"
+//     or "layout-vafile" subdirectory (rebuilt, crash-safely, on every
+//     open) and read data pages from it.
+//
+// The caller owns the returned DB and must Close it to release the
+// underlying file handles and mappings.
+func OpenStored(dir string, opts Options) (*DB, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	items, err := dataset.LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("metricdb: opening stored database: %w", err)
+	}
+	dim, err := validateItems(items)
+	if err != nil {
+		return nil, fmt.Errorf("metricdb: stored dataset %s: %w", dir, err)
+	}
+	opts, bufferPages := opts.withDefaults(dim, len(items))
+
+	var db *DB
+	switch opts.Engine {
+	case EngineScan:
+		db, err = openStoredScan(dir, items, dim, opts, bufferPages)
+	case EngineXTree, EngineVAFile:
+		db, err = openStoredDerived(dir, items, dim, opts, bufferPages)
+	default:
+		return nil, fmt.Errorf("metricdb: unknown engine %q", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// openStoredScan serves the dataset's own pages through a FileDisk: the
+// stored layout is the scan layout.
+func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages int) (*DB, error) {
+	fd, err := store.OpenFileDisk(dir, store.FileDiskOptions{Mmap: opts.Mmap})
+	if err != nil {
+		return nil, fmt.Errorf("metricdb: %w", err)
+	}
+	man := fd.Manifest()
+	var buf *store.Buffer
+	if bufferPages > 0 {
+		if buf, err = store.NewBuffer(bufferPages); err != nil {
+			fd.Close() //nolint:errcheck
+			return nil, fmt.Errorf("metricdb: %w", err)
+		}
+	}
+	pager, err := store.NewPager(fd, buf)
+	if err != nil {
+		fd.Close() //nolint:errcheck
+		return nil, fmt.Errorf("metricdb: %w", err)
+	}
+	lens := make([]int, len(man.Pages))
+	for i, e := range man.Pages {
+		lens[i] = e.Items
+	}
+	eng, err := scan.NewStored(pager, man.Items, lens)
+	if err != nil {
+		fd.Close() //nolint:errcheck
+		return nil, fmt.Errorf("metricdb: %w", err)
+	}
+	// The stored layout dictates the page capacity; reflect it in the
+	// options so DB introspection reports the truth.
+	opts.PageCapacity = man.PageCapacity
+	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency})
+	if err != nil {
+		fd.Close() //nolint:errcheck
+		return nil, err
+	}
+	return &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts, closers: []io.Closer{fd}}, nil
+}
+
+// openStoredDerived builds an index engine from the loaded items and
+// persists the engine's page layout next to the dataset, serving data
+// pages from the file system through the engine's WrapDisk hook.
+func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPages int) (*DB, error) {
+	layout := filepath.Join(dir, "layout-"+string(opts.Engine))
+	var fd *store.FileDisk
+	wrap := func(src store.PageSource) (store.PageSource, error) {
+		pages := make([]*store.Page, src.NumPages())
+		capacity := 0
+		for pid := range pages {
+			p, err := src.Read(store.PageID(pid))
+			if err != nil {
+				return nil, err
+			}
+			pages[pid] = p
+			if len(p.Items) > capacity {
+				capacity = len(p.Items)
+			}
+		}
+		meta := store.DatasetMeta{Dim: dim, PageCapacity: capacity,
+			Attrs: map[string]string{"layout": string(opts.Engine)}}
+		if err := store.WriteDataset(layout, pages, meta, store.WriteOptions{}); err != nil {
+			return nil, err
+		}
+		var err error
+		if fd, err = store.OpenFileDisk(layout, store.FileDiskOptions{Mmap: opts.Mmap}); err != nil {
+			return nil, err
+		}
+		return fd, nil
+	}
+
+	var (
+		eng engine.Engine
+		err error
+	)
+	switch opts.Engine {
+	case EngineXTree:
+		cfg := xtree.DefaultConfig(dim)
+		cfg.LeafCapacity = opts.PageCapacity
+		cfg.BufferPages = bufferPages
+		cfg.Metric = opts.Metric
+		cfg.WrapDisk = wrap
+		if x := opts.XTree; x != nil {
+			if x.DirFanout != 0 {
+				cfg.DirFanout = x.DirFanout
+			}
+			cfg.MaxOverlap = x.MaxOverlap
+			cfg.MinFillRatio = x.MinFillRatio
+			cfg.ReinsertFraction = x.ReinsertFraction
+		}
+		if opts.XTree != nil && opts.XTree.STRBulkLoad {
+			eng, err = xtree.BulkSTR(items, dim, cfg)
+		} else {
+			eng, err = xtree.Bulk(items, dim, cfg)
+		}
+	case EngineVAFile:
+		eng, err = vafile.New(items, vafile.Config{
+			Bits:         opts.VAFileBits,
+			PageCapacity: opts.PageCapacity,
+			BufferPages:  bufferPages,
+			Metric:       opts.Metric,
+			WrapDisk:     wrap,
+		})
+	}
+	if err != nil {
+		if fd != nil {
+			fd.Close() //nolint:errcheck
+		}
+		return nil, err
+	}
+	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency})
+	if err != nil {
+		if fd != nil {
+			fd.Close() //nolint:errcheck
+		}
+		return nil, err
+	}
+	return &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts, closers: []io.Closer{fd}}, nil
+}
+
+// Close releases the file handles and memory mappings of a stored database.
+// On a DB built by Open it is a no-op. Queries must not be in flight or
+// issued after Close.
+func (db *DB) Close() error {
+	var errs []error
+	for _, c := range db.closers {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	db.closers = nil
+	return errors.Join(errs...)
+}
+
+// Stored reports whether the database serves its data pages from
+// persistent storage, and if so in which mode ("pread" or "mmap").
+func (db *DB) Stored() (mode string, ok bool) {
+	if fd, isFile := db.eng.Pager().Disk().(*store.FileDisk); isFile {
+		return fd.Mode(), true
+	}
+	return "", false
+}
+
+// StorageStats returns the real-I/O counters of a stored database's
+// file-backed disk (preads issued, bytes read, checksum failures). ok is
+// false for in-memory databases.
+func (db *DB) StorageStats() (stats store.StorageStats, ok bool) {
+	if fd, isFile := db.eng.Pager().Disk().(*store.FileDisk); isFile {
+		return fd.Storage(), true
+	}
+	return store.StorageStats{}, false
+}

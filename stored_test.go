@@ -1,0 +1,164 @@
+package metricdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metricdb/internal/dataset"
+)
+
+func storedDir(t *testing.T, seed int64, n, dim, capacity int) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := dataset.SaveDir(dir, testItems(seed, n, dim), dataset.SaveOptions{
+		PageCapacity: capacity, NoSync: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestOpenStoredMatchesOpen: for every engine kind, a database served from
+// persistent storage must answer exactly like one built over the same
+// items in memory — answers bit for bit, and for the scan engine (which
+// serves the stored page layout directly) the identical I/O statistics.
+func TestOpenStoredMatchesOpen(t *testing.T) {
+	const dim, n, capacity = 4, 260, 16
+	items := testItems(61, n, dim)
+	dir := storedDir(t, 61, n, dim, capacity)
+
+	rng := rand.New(rand.NewSource(62))
+	point := func() Vector {
+		v := make(Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		return v
+	}
+	batch := []Query{
+		{ID: 0, Vec: point(), Type: RangeQuery(0.5)},
+		{ID: 1, Vec: point(), Type: KNNQuery(9)},
+		{ID: 2, Vec: point(), Type: BoundedKNNQuery(4, 0.7)},
+		{ID: 3, Vec: point(), Type: KNNQuery(3)},
+	}
+
+	for _, kind := range []EngineKind{EngineScan, EngineXTree, EngineVAFile} {
+		for _, mmap := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/mmap=%v", kind, mmap), func(t *testing.T) {
+				opts := Options{Engine: kind, PageCapacity: capacity, BufferPages: 4}
+				mem, err := Open(items, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Mmap = mmap
+				stored, err := OpenStored(dir, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer func() {
+					if err := stored.Close(); err != nil {
+						t.Errorf("Close: %v", err)
+					}
+				}()
+
+				if mode, ok := stored.Stored(); !ok || mode == "" {
+					t.Errorf("Stored() = %q, %v; want a storage mode", mode, ok)
+				}
+				if _, ok := mem.Stored(); ok {
+					t.Error("in-memory DB claims persistent storage")
+				}
+				if stored.Len() != mem.Len() || stored.Dim() != mem.Dim() {
+					t.Fatalf("shape: stored %d/%d, mem %d/%d", stored.Len(), stored.Dim(), mem.Len(), mem.Dim())
+				}
+
+				memAns, memStats, err := mem.NewBatch().QueryAll(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				storedAns, storedStats, err := stored.NewBatch().QueryAll(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(memAns) != len(storedAns) {
+					t.Fatalf("answer list counts differ")
+				}
+				for q := range memAns {
+					if len(memAns[q]) != len(storedAns[q]) {
+						t.Fatalf("query %d: %d vs %d answers", q, len(memAns[q]), len(storedAns[q]))
+					}
+					for i := range memAns[q] {
+						if memAns[q][i].ID != storedAns[q][i].ID ||
+							math.Float64bits(memAns[q][i].Dist) != math.Float64bits(storedAns[q][i].Dist) {
+							t.Fatalf("query %d answer %d differs: %+v vs %+v",
+								q, i, memAns[q][i], storedAns[q][i])
+						}
+					}
+				}
+				if storedStats != memStats {
+					t.Errorf("stats differ:\n  mem:    %+v\n  stored: %+v", memStats, storedStats)
+				}
+				if kind == EngineScan && stored.IOStats() != mem.IOStats() {
+					t.Errorf("scan I/O stats differ: mem %+v, stored %+v", mem.IOStats(), stored.IOStats())
+				}
+
+				st, ok := stored.StorageStats()
+				if !ok {
+					t.Fatal("stored DB reports no storage stats")
+				}
+				if mode, _ := stored.Stored(); mode == "pread" && (st.Preads == 0 || st.BytesRead == 0) {
+					t.Errorf("pread mode issued no reads: %+v", st)
+				}
+				if st.ChecksumFailures != 0 {
+					t.Errorf("checksum failures on a clean dataset: %+v", st)
+				}
+				if _, ok := mem.StorageStats(); ok {
+					t.Error("in-memory DB reports storage stats")
+				}
+			})
+		}
+	}
+}
+
+// TestOpenStoredDerivedLayout: index engines persist their private page
+// layout beside the dataset and rebuild it on every open.
+func TestOpenStoredDerivedLayout(t *testing.T) {
+	dir := storedDir(t, 71, 150, 3, 8)
+	db, err := OpenStored(dir, Options{Engine: EngineXTree, PageCapacity: 8, BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := filepath.Join(dir, "layout-xtree")
+	if _, err := os.Stat(filepath.Join(layout, "MANIFEST")); err != nil {
+		t.Errorf("layout manifest missing: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the layout generation bumps and the dataset still serves.
+	db, err = OpenStored(dir, Options{Engine: EngineXTree, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+	if ans, _, err := db.Query(Vector{0.5, 0.5, 0.5}, KNNQuery(5)); err != nil || len(ans) != 5 {
+		t.Fatalf("query after reopen: %d answers, %v", len(ans), err)
+	}
+}
+
+// TestOpenStoredErrors: a missing directory, a gob file, and a corrupt
+// dataset are all rejected cleanly.
+func TestOpenStoredErrors(t *testing.T) {
+	if _, err := OpenStored(filepath.Join(t.TempDir(), "nope"), Options{}); err == nil {
+		t.Error("missing directory accepted")
+	}
+	if _, err := OpenStored(t.TempDir(), Options{}); err == nil {
+		t.Error("empty directory accepted")
+	}
+	if _, err := OpenStored(storedDir(t, 81, 40, 2, 8), Options{Engine: "btree"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
