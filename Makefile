@@ -38,6 +38,7 @@ differential:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzPageDecode -fuzztime=30s ./internal/store/
 	go test -run='^$$' -fuzz=FuzzManifestDecode -fuzztime=30s ./internal/store/
+	go test -run='^$$' -fuzz=FuzzColumnarPageDecode -fuzztime=30s ./internal/store/
 
 # The observability overhead gate: with no tracer installed, the hooked
 # page loop must run within 2% of the bare loop. Timing-sensitive, so it
@@ -60,6 +61,7 @@ bench:
 	go run ./cmd/msqbench -experiment distobs
 	go run ./cmd/msqbench -experiment load
 	go run ./cmd/msqbench -experiment storage
+	go run ./cmd/msqbench -experiment block
 
 # Every benchmark in the repository, including the paper-figure suites.
 bench-all:
@@ -83,10 +85,12 @@ bench-compare:
 	go run ./cmd/msqbench -experiment distobs -distobs-out .bench-fresh/BENCH_distobs.json > /dev/null
 	go run ./cmd/msqbench -experiment load -load-out .bench-fresh/BENCH_load.json > /dev/null
 	go run ./cmd/msqbench -experiment storage -storage-out .bench-fresh/BENCH_storage.json > /dev/null
+	go run ./cmd/msqbench -experiment block -block-out .bench-fresh/BENCH_block.json > /dev/null
 	go run ./cmd/benchcompare -tolerance 0.10 -speedup-tolerance 0.50 \
 		BENCH_kernels.json .bench-fresh/BENCH_kernels.json \
 		BENCH_parallel_intra.json .bench-fresh/BENCH_parallel_intra.json \
 		BENCH_obs.json .bench-fresh/BENCH_obs.json \
 		BENCH_distobs.json .bench-fresh/BENCH_distobs.json \
 		BENCH_load.json .bench-fresh/BENCH_load.json \
-		BENCH_storage.json .bench-fresh/BENCH_storage.json
+		BENCH_storage.json .bench-fresh/BENCH_storage.json \
+		BENCH_block.json .bench-fresh/BENCH_block.json

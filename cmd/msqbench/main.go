@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|obs|distobs|load|storage]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|block|obs|distobs|load|storage]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
 //	         [-kernels-out BENCH_kernels.json]
+//	         [-block-out BENCH_block.json]
 //	         [-obs-out BENCH_obs.json]
 //	         [-distobs-out BENCH_distobs.json]
 //	         [-load-out BENCH_load.json]
@@ -28,6 +29,15 @@
 // full Distance against early-abandoning DistanceWithin per metric, vector
 // dimensionality and abandon rate, writing the ns/op table to -kernels-out
 // as JSON.
+//
+// The block experiment measures the columnar (SoA) page layouts end to
+// end: sequential page-pass throughput of one m-query batch on the scan
+// engine across dimensionality × batch width × layout (aos, soa, f32,
+// quant), re-checking on the measured runs that soa answers and counters
+// are bit-identical to aos at pipeline widths 1, 2 and 8, that f32 keeps
+// the IDs within the rounding bound, and that quant's filter moves pairs
+// between CPU disposals without touching answers or page reads. Results go
+// to -block-out as JSON.
 //
 // The obs experiment profiles the multi-query processor with the
 // observability tracer enabled: per-phase latency histograms (page fetch
@@ -87,19 +97,20 @@ func main() {
 		measure    = flag.Bool("measure", false, "calibrate the cost model on this host instead of nominal 1999 constants")
 		intraOut   = flag.String("intra-out", "BENCH_parallel_intra.json", "output file for the intra experiment's JSON results")
 		kernelsOut = flag.String("kernels-out", "BENCH_kernels.json", "output file for the kernels experiment's JSON results")
+		blockOut   = flag.String("block-out", "BENCH_block.json", "output file for the block experiment's JSON results")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output file for the obs experiment's JSON results")
 		distObsOut = flag.String("distobs-out", "BENCH_distobs.json", "output file for the distobs experiment's JSON results")
 		loadOut    = flag.String("load-out", "BENCH_load.json", "output file for the load experiment's JSON results")
 		storageOut = flag.String("storage-out", "BENCH_storage.json", "output file for the storage experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *obsOut, *distObsOut, *loadOut, *storageOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *blockOut, *obsOut, *distObsOut, *loadOut, *storageOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, obsOut, distObsOut, loadOut, storageOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, blockOut, obsOut, distObsOut, loadOut, storageOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -113,8 +124,8 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
-		"intra": true, "kernels": true, "obs": true, "distobs": true, "load": true,
-		"storage": true}
+		"intra": true, "kernels": true, "block": true, "obs": true, "distobs": true,
+		"load": true, "storage": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -159,6 +170,26 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", kernelsOut)
+	}
+
+	if want("block") {
+		sweep, err := experiments.RunBlockLayouts([]int{4, 8, 16, 32}, []int{1, 8, 32}, 6000)
+		if err != nil {
+			return err
+		}
+		for _, r := range sweep.Results {
+			if !r.Identical {
+				return fmt.Errorf("block: layout %s at dim %d, m %d diverged from the sequential AoS reference",
+					r.Layout, r.Dim, r.M)
+			}
+		}
+		if err := emit(sweep.Figure()); err != nil {
+			return err
+		}
+		if err := experiments.WriteBlockJSONFile(blockOut, sweep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", blockOut)
 	}
 
 	needSweep := want("fig7") || want("fig8") || want("fig9") || want("fig10")

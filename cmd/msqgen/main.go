@@ -9,7 +9,13 @@
 //	msqgen -out data.dir -kind uniform|nearuniform|clustered
 //	       [-format dir|gob] [-pagecap 0] [-n 100000] [-dim 20]
 //	       [-clusters 10] [-spread 0.05] [-intrinsic 8] [-histogram]
-//	       [-noise 0.0] [-seed 1]
+//	       [-noise 0.0] [-seed 1] [-layout aos|soa|f32|quant] [-quantbits 8]
+//
+// -layout soa writes version-2 columnar page records (contiguous float64
+// blocks per page); f32 adds the float32 sibling; quant adds VA-file-style
+// quantized codes at -quantbits bits per dimension. Version-1 readers are
+// unaffected: OpenStored columnizes on read when the file lacks a
+// representation the session's layout wants.
 package main
 
 import (
@@ -36,17 +42,41 @@ func main() {
 		histogram = flag.Bool("histogram", false, "L1-normalize to histograms (clustered kind)")
 		noise     = flag.Float64("noise", 0, "noise fraction (clustered) or noise level (nearuniform)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		layout    = flag.String("layout", "aos", "page representation for -format dir: aos, soa, f32 or quant")
+		quantbits = flag.Int("quantbits", 0, "bits per dimension for -layout quant (0 selects 8)")
 	)
 	flag.Parse()
-	if err := run(*out, *format, *pagecap, *kind, *n, *dim, *clusters, *spread, *intrinsic, *histogram, *noise, *seed); err != nil {
+	if err := run(*out, *format, *pagecap, *kind, *n, *dim, *clusters, *spread, *intrinsic, *histogram, *noise, *seed, *layout, *quantbits); err != nil {
 		fmt.Fprintln(os.Stderr, "msqgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, format string, pagecap int, kind string, n, dim, clusters int, spread float64, intrinsic int, histogram bool, noise float64, seed int64) error {
+func run(out, format string, pagecap int, kind string, n, dim, clusters int, spread float64, intrinsic int, histogram bool, noise float64, seed int64, layout string, quantbits int) error {
 	if out == "" {
 		return fmt.Errorf("-out is required")
+	}
+	save := dataset.SaveOptions{PageCapacity: pagecap}
+	switch layout {
+	case "", "aos":
+	case "soa":
+		save.Columnar = true
+	case "f32":
+		save.Columnar, save.F32 = true, true
+	case "quant":
+		save.Columnar = true
+		save.QuantBits = quantbits
+		if save.QuantBits == 0 {
+			save.QuantBits = 8
+		}
+	default:
+		return fmt.Errorf("unknown layout %q (want aos, soa, f32 or quant)", layout)
+	}
+	if quantbits != 0 && layout != "quant" {
+		return fmt.Errorf("-quantbits requires -layout quant")
+	}
+	if quantbits < 0 || quantbits > 8 {
+		return fmt.Errorf("-quantbits must be in [0, 8], got %d", quantbits)
 	}
 	var items []store.Item
 	var err error
@@ -68,13 +98,11 @@ func run(out, format string, pagecap int, kind string, n, dim, clusters int, spr
 	}
 	switch format {
 	case "dir":
-		err = dataset.SaveDir(out, items, dataset.SaveOptions{
-			PageCapacity: pagecap,
-			Attrs: map[string]string{
-				"kind": kind,
-				"seed": strconv.FormatInt(seed, 10),
-			},
-		})
+		save.Attrs = map[string]string{
+			"kind": kind,
+			"seed": strconv.FormatInt(seed, 10),
+		}
+		err = dataset.SaveDir(out, items, save)
 	case "gob":
 		err = dataset.WriteFile(out, items)
 	default:

@@ -10,6 +10,7 @@ import (
 	"metricdb/internal/scan"
 	"metricdb/internal/store"
 	"metricdb/internal/vafile"
+	"metricdb/internal/vec"
 	"metricdb/internal/xtree"
 )
 
@@ -60,6 +61,20 @@ type Options struct {
 	// VAFileBits is the bits-per-dimension of the VA-file engine
 	// (0 selects 6).
 	VAFileBits int
+	// Layout selects the page representation the distance loops consume:
+	// "" or "aos" evaluates item vectors one at a time (the original
+	// path); "soa" materializes contiguous float64 blocks per page and
+	// runs the blocked row kernels over them, bit-identical to "aos" in
+	// answers and every statistic; "f32" additionally materializes a
+	// float32 sibling and uses it where rank-safe (distances differ by
+	// bounded rounding — see DESIGN.md); "quant" additionally quantizes
+	// each page to VA-file-style cell codes and pre-filters (query, item)
+	// pairs whose cell lower bound already exceeds the pruning radius,
+	// with answers and page reads bit-identical to "aos".
+	Layout string
+	// QuantBits is the bits per dimension of the "quant" layout's codes
+	// (0 selects 8). Setting it with any other layout is an error.
+	QuantBits int
 	// Mmap serves a stored database by memory-mapping its page file
 	// instead of issuing preads. Only OpenStored consults it; on platforms
 	// without mmap support the disk silently falls back to pread.
@@ -106,6 +121,15 @@ func (o Options) Validate() error {
 	if o.VAFileBits < 0 {
 		return fmt.Errorf("metricdb: VA-file bits must be >= 0 (0 selects the default), got %d", o.VAFileBits)
 	}
+	if _, err := parseLayout(o.Layout); err != nil {
+		return err
+	}
+	if o.QuantBits < 0 || o.QuantBits > 8 {
+		return fmt.Errorf("metricdb: quant bits must be in [0, 8] (0 selects 8), got %d", o.QuantBits)
+	}
+	if o.QuantBits != 0 && o.Layout != "quant" {
+		return fmt.Errorf("metricdb: QuantBits is only meaningful with Layout \"quant\", got layout %q", o.Layout)
+	}
 	if x := o.XTree; x != nil {
 		if x.DirFanout < 0 {
 			return fmt.Errorf("metricdb: X-tree directory fanout must be >= 0, got %d", x.DirFanout)
@@ -121,6 +145,51 @@ func (o Options) Validate() error {
 		}
 	}
 	return nil
+}
+
+// parseLayout maps the public layout string onto the processor's enum.
+func parseLayout(s string) (msq.Layout, error) {
+	switch s {
+	case "", "aos":
+		return msq.LayoutAoS, nil
+	case "soa":
+		return msq.LayoutSoA, nil
+	case "f32":
+		return msq.LayoutF32, nil
+	case "quant":
+		return msq.LayoutQuant, nil
+	default:
+		return 0, fmt.Errorf("metricdb: unknown layout %q (want aos, soa, f32, or quant)", s)
+	}
+}
+
+// columnSpec translates the layout choice into the sibling representations
+// the engine must materialize on each page, building the quantization grid
+// from the data's coordinate bounds when the layout is "quant".
+func (o Options) columnSpec(items []Item, dim int) (store.ColumnSpec, error) {
+	layout, err := parseLayout(o.Layout)
+	if err != nil {
+		return store.ColumnSpec{}, err
+	}
+	switch layout {
+	case msq.LayoutSoA:
+		return store.ColumnSpec{Columnar: true}, nil
+	case msq.LayoutF32:
+		return store.ColumnSpec{Columnar: true, F32: true}, nil
+	case msq.LayoutQuant:
+		bits := o.QuantBits
+		if bits == 0 {
+			bits = 8
+		}
+		lo, hi := store.ItemCoordinateBounds(items, dim)
+		grid, err := vec.BuildQuantGrid(bits, lo, hi)
+		if err != nil {
+			return store.ColumnSpec{}, fmt.Errorf("metricdb: %w", err)
+		}
+		return store.ColumnSpec{Columnar: true, Quant: grid}, nil
+	default:
+		return store.ColumnSpec{}, nil
+	}
 }
 
 // withDefaults resolves the zero and sentinel values of validated options
@@ -181,22 +250,37 @@ func Open(items []Item, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("metricdb: page capacity must be >= 1, got %d", opts.PageCapacity)
 	}
 
+	columns, err := opts.columnSpec(items, dim)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := parseLayout(opts.Layout)
+	if err != nil {
+		return nil, err
+	}
+
 	var eng engine.Engine
 	switch opts.Engine {
 	case EngineScan, "":
-		eng, err = scan.New(items, opts.PageCapacity, bufferPages)
+		eng, err = scan.NewWithConfig(items, scan.Config{
+			PageCapacity: opts.PageCapacity,
+			BufferPages:  bufferPages,
+			Columns:      columns,
+		})
 	case EngineVAFile:
 		eng, err = vafile.New(items, vafile.Config{
 			Bits:         opts.VAFileBits,
 			PageCapacity: opts.PageCapacity,
 			BufferPages:  bufferPages,
 			Metric:       opts.Metric,
+			Columns:      columns,
 		})
 	case EngineXTree:
 		cfg := xtree.DefaultConfig(dim)
 		cfg.LeafCapacity = opts.PageCapacity
 		cfg.BufferPages = bufferPages
 		cfg.Metric = opts.Metric
+		cfg.Columns = columns
 		if x := opts.XTree; x != nil {
 			if x.DirFanout != 0 {
 				cfg.DirFanout = x.DirFanout
@@ -217,7 +301,7 @@ func Open(items []Item, opts Options) (*DB, error) {
 		return nil, err
 	}
 
-	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency})
+	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency, Layout: layout})
 	if err != nil {
 		return nil, err
 	}
@@ -381,6 +465,9 @@ type ProcessorStats struct {
 	Avoidance AvoidanceMode
 	// Concurrency is the effective intra-server pipeline width (>= 1).
 	Concurrency int
+	// Layout names the page representation the distance loops consume
+	// ("aos", "soa", "f32", or "quant").
+	Layout string
 	// DistCalcs counts distance calculations, including ones abandoned
 	// mid-vector by the bounded kernel.
 	DistCalcs int64
@@ -393,6 +480,7 @@ func (db *DB) ProcessorStats() ProcessorStats {
 	return ProcessorStats{
 		Avoidance:        db.proc.Options().Avoidance,
 		Concurrency:      db.proc.Concurrency(),
+		Layout:           db.proc.Options().Layout.String(),
 		DistCalcs:        db.proc.Metric().Count(),
 		PartialAbandoned: db.proc.Metric().Abandoned(),
 	}

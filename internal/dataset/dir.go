@@ -22,6 +22,14 @@ type SaveOptions struct {
 	// NoSync skips fsyncs; only for tests that build many throwaway
 	// datasets.
 	NoSync bool
+	// Columnar writes version-2 columnar page records (contiguous
+	// float64 blocks). Implied by F32 and QuantBits.
+	Columnar bool
+	// F32 additionally writes the float32 sibling section per page.
+	F32 bool
+	// QuantBits, when 1..8, additionally writes quantized code sections
+	// on a grid derived from the data's coordinate bounds.
+	QuantBits int
 }
 
 // SaveDir persists items as a dataset directory in the on-disk format
@@ -47,7 +55,8 @@ func SaveDir(dir string, items []store.Item, opts SaveOptions) error {
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	meta := store.DatasetMeta{Dim: dim, PageCapacity: capacity, Attrs: opts.Attrs}
+	meta := store.DatasetMeta{Dim: dim, PageCapacity: capacity, Attrs: opts.Attrs,
+		Columnar: opts.Columnar, F32: opts.F32, QuantBits: opts.QuantBits}
 	if err := store.WriteDataset(dir, pages, meta, store.WriteOptions{Hook: opts.Hook, NoSync: opts.NoSync}); err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}

@@ -52,6 +52,10 @@ type Profile struct {
 	Lemma2Avoided int64 `json:"lemma2_avoided"`
 	// AvoidTries counts the triangle-inequality probes spent on this query.
 	AvoidTries int64 `json:"avoid_tries"`
+	// QuantFiltered counts the pairs the quantized lower-bound filter
+	// rejected for this query (LayoutQuant only; zero elsewhere). A
+	// filtered pair is in neither DistCalcs nor the avoided counts.
+	QuantFiltered int64 `json:"quant_filtered,omitempty"`
 	// Answers is the query's final answer count.
 	Answers int `json:"answers"`
 }
@@ -104,6 +108,7 @@ type explainCounters struct {
 	lemma1       atomic.Int64
 	lemma2       atomic.Int64
 	tries        atomic.Int64
+	filtered     atomic.Int64
 }
 
 // explainState is attached to a Session for the duration of one
@@ -168,23 +173,29 @@ func (s *Session) avoidableExplain(qd float64, pos int, known []knownDist, matri
 // avoid/kernel clock splits (feeding both the explain state and, when a
 // tracer is installed, the tracer). Keep this body in lockstep with
 // processPage and processPageTraced.
-func (s *Session) processPageExplain(ex *explainState, page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+func (s *Session) processPageExplain(ex *explainState, page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, sc *seqScratch) {
 	tr := s.proc.tracer
 	pageStart := time.Now()
 	var avoidNs time.Duration
 	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
 	kernel := s.proc.metric.Kernel()
+	filters := s.quantFilters(page, active, sc.filters)
 	var calcs, abandoned int64
-	qds = qds[:len(active)]
+	known := sc.known
+	qds := sc.qds[:len(active)]
 	for i, st := range active {
 		qds[i] = st.queryDist()
 	}
 	var raise []float64
 	if avoiding {
-		raise = lemma1Raises(activeIdx, matrix, qds, raiseScratch)
+		raise = lemma1Raises(activeIdx, matrix, qds, sc.raise)
 	}
 	for it := range page.Items {
 		item := &page.Items[it]
+		var codes []uint8
+		if filters != nil {
+			codes = page.Cols.ItemCodes(it)
+		}
 		known = known[:0]
 		for a, st := range active {
 			pos := activeIdx[a]
@@ -209,6 +220,13 @@ func (s *Session) processPageExplain(ex *explainState, page *store.Page, active 
 				}
 				limit = abandonLimit(qd, raise[a], len(known))
 				avoidNs += time.Since(t0)
+			}
+			if filters != nil {
+				if f := filters[a]; f != nil && f.Exceeds(codes, qd) {
+					stats.QuantFiltered++
+					prof.filtered.Add(1)
+					continue
+				}
 			}
 			d, within := kernel.DistanceWithin(st.q.Vec, item.Vec, limit)
 			calcs++
@@ -308,6 +326,7 @@ func (s *Session) ExplainAllContext(ctx context.Context, queries []Query) (*Expl
 			Lemma1Avoided: c.lemma1.Load(),
 			Lemma2Avoided: c.lemma2.Load(),
 			AvoidTries:    c.tries.Load(),
+			QuantFiltered: c.filtered.Load(),
 			Answers:       results[i].Len(),
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/store"
+	"metricdb/internal/vec"
 )
 
 // queryState is the per-query bookkeeping that persists across incremental
@@ -32,6 +33,40 @@ type queryState struct {
 	// relevance filtering and distance avoidance before any of its
 	// object distances have been calculated. +Inf when unknown.
 	bound float64
+	// q32 caches the query vector rounded to float32 for the f32 row
+	// kernels (ToF32 allocates; the rounding must match the block's
+	// DeriveF32 for the documented error bound, and it does — both are
+	// plain float32 conversions).
+	q32 []float32
+	// qfilter caches the quantized lower-bound filter for this query on
+	// grid filterGrid, built on the first quant-layout page and rebuilt
+	// if a page arrives with a different grid. filterSet distinguishes
+	// "not built yet" from "built nil" (metric without code-level
+	// bounds), so unsupported metrics are probed once, not per page.
+	qfilter    *vec.QuantFilter
+	filterGrid *vec.QuantGrid
+	filterSet  bool
+}
+
+// f32 returns the query vector rounded to float32, cached after first use.
+func (st *queryState) f32() []float32 {
+	if st.q32 == nil {
+		st.q32 = vec.ToF32(st.q.Vec)
+	}
+	return st.q32
+}
+
+// filter returns the query's quantized lower-bound filter for grid g (nil
+// when the metric supports no code-level bound; a nil filter rejects
+// nothing). Callers must hold the session's call lock or the pipeline's
+// page barrier — the cache is not otherwise synchronized.
+func (st *queryState) filter(m vec.Metric, g *vec.QuantGrid) *vec.QuantFilter {
+	if !st.filterSet || st.filterGrid != g {
+		st.qfilter = vec.NewQuantFilter(m, g, st.q.Vec)
+		st.filterGrid = g
+		st.filterSet = true
+	}
+	return st.qfilter
 }
 
 // queryDist is the effective pruning distance: the adaptive answer-list
@@ -270,14 +305,13 @@ func (s *Session) run(ctx context.Context, states []*queryState, matrix [][]floa
 		return nil
 	}
 
-	// active caches, per page, which queries still need the page; known is
-	// the per-item avoidance scratch ("AvoidingDists"), pre-sized so the
-	// page loop never allocates in steady state.
+	// active caches, per page, which queries still need the page; sc is
+	// the page loop's scratch (avoidance lists, pruning-distance mirrors,
+	// row-kernel buffers), pre-sized so no observation mode of the loop
+	// allocates in steady state.
 	active := make([]*queryState, 0, len(states))
 	activePos := make([]int, 0, len(states))
-	known := make([]knownDist, 0, len(states))
-	qds := make([]float64, len(states))
-	raiseScratch := make([]float64, len(states))
+	sc := newSeqScratch(len(states))
 
 	for _, ref := range plan {
 		if err := ctx.Err(); err != nil {
@@ -313,7 +347,7 @@ func (s *Session) run(ctx context.Context, states []*queryState, matrix [][]floa
 			}
 		}
 
-		s.processPage(page, active, activePos, matrix, stats, known, qds, raiseScratch)
+		s.processPage(page, active, activePos, matrix, stats, sc)
 
 		for _, st := range active {
 			st.processed[ref.ID] = struct{}{}
@@ -387,6 +421,7 @@ func (s *Session) bootstrap(states []*queryState) {
 func (s *Session) seedFirstPages(states []*queryState, pos []int, stats *Stats) error {
 	eng := s.proc.eng
 	ex := s.explain
+	kernel := s.proc.metric.Kernel()
 	nPages := eng.NumPages()
 	for idx, st := range states {
 		if idx == 0 || st.done || st.answers.Full() || !st.q.Type.Bounded() {
@@ -421,11 +456,15 @@ func (s *Session) seedFirstPages(states []*queryState, pos []int, stats *Stats) 
 			prof = &ex.prof[pos[idx]]
 			prof.pagesVisited.Add(1)
 		}
+		var calcs, abandoned int64
 		for i := range page.Items {
 			// The live bound (a-priori MAXDIST bound, tightening as the
 			// list fills) lets later items on the seed page abandon early;
-			// an abandoned item could not have entered the list.
-			d, within := s.proc.metric.DistanceWithin(st.q.Vec, page.Items[i].Vec, st.queryDist())
+			// an abandoned item could not have entered the list. Calls go
+			// through the raw kernel and settle in one AddCalls per seed
+			// page, like the page loop.
+			d, within := kernel.DistanceWithin(st.q.Vec, page.Items[i].Vec, st.queryDist())
+			calcs++
 			if prof != nil {
 				prof.distCalcs.Add(1)
 				if !within {
@@ -434,8 +473,11 @@ func (s *Session) seedFirstPages(states []*queryState, pos []int, stats *Stats) 
 			}
 			if within {
 				st.answers.Consider(page.Items[i].ID, d)
+			} else {
+				abandoned++
 			}
 		}
+		s.proc.metric.AddCalls(calcs, abandoned)
 		st.processed[best] = struct{}{}
 	}
 	return nil
@@ -499,6 +541,165 @@ type knownDist struct {
 	idx int32
 }
 
+// seqScratch bundles the sequential page loop's reusable buffers, shared
+// by the plain, traced and explain twins so switching observation modes
+// never changes the allocation profile. Every field is sized for the full
+// batch and sliced down to the page's active set; contents are clobbered
+// on each page.
+type seqScratch struct {
+	known   []knownDist
+	qds     []float64
+	raise   []float64
+	qvecs   []vec.Vector
+	q32     [][]float32
+	rowD    []float64
+	rowW    []bool
+	filters []*vec.QuantFilter
+}
+
+func newSeqScratch(n int) *seqScratch {
+	return &seqScratch{
+		known:   make([]knownDist, 0, n),
+		qds:     make([]float64, n),
+		raise:   make([]float64, n),
+		qvecs:   make([]vec.Vector, n),
+		q32:     make([][]float32, n),
+		rowD:    make([]float64, n),
+		rowW:    make([]bool, n),
+		filters: make([]*vec.QuantFilter, n),
+	}
+}
+
+// rowPath reports whether this page runs through the blocked row kernels
+// under the configured layout, and whether over the float32 sibling. Rows
+// require a columnar block and no avoidance interleaving: with avoidance
+// off, a query's pruning distance within one item can only have been
+// tightened by earlier items (each query's mirror is updated solely by its
+// own Consider accepts), so passing the live pruning distances as the row
+// limits reproduces the per-pair loop's limits — and with them its
+// distances, within flags, abandon points and Consider sequence — exactly.
+// Under avoidance the per-pair loop couples the queries of one item
+// through the known list, which has no row equivalent; those pages keep
+// the per-pair path, which reads the same block-backed float64s anyway.
+// Batches narrower than one lane group (m < 4) also keep the per-pair
+// path: the grouped lanes of the row kernels never engage there, so the
+// row loop would only add per-item bookkeeping on top of the same scalar
+// kernel calls.
+func (s *Session) rowPath(page *store.Page, avoiding bool, m int) (rows, f32 bool) {
+	b := page.Cols
+	if b == nil || avoiding || b.N != len(page.Items) || m < 4 {
+		return false, false
+	}
+	switch s.proc.opts.Layout {
+	case LayoutSoA:
+		return true, false
+	case LayoutF32:
+		if b.F32 != nil && s.proc.rows.SupportsF32() {
+			return true, true
+		}
+		return true, false // no f32 sibling on this page: exact rows
+	}
+	return false, false
+}
+
+// quantFilters fills dst with each active query's code-level filter for
+// the page's grid, or returns nil when the layout or the page does not
+// support quantized screening. Entries may be nil (metric without a
+// code-level bound); a nil filter rejects nothing.
+func (s *Session) quantFilters(page *store.Page, active []*queryState, dst []*vec.QuantFilter) []*vec.QuantFilter {
+	if s.proc.opts.Layout != LayoutQuant {
+		return nil
+	}
+	b := page.Cols
+	if b == nil || b.Codes == nil || b.Grid == nil {
+		return nil
+	}
+	dst = dst[:len(active)]
+	for i, st := range active {
+		dst[i] = st.filter(s.proc.metric, b.Grid)
+	}
+	return dst
+}
+
+// processPageRows is the blocked (SoA) page pass: one row-kernel call per
+// item evaluates the whole active set against the item's block row, so the
+// row — just loaded into cache — is reused m times and the kernel dispatch
+// is devirtualized once per page instead of once per pair. Only reached
+// when rowPath holds, under which the results are bit-identical to the
+// per-pair loop (see rowPath); with f32 the distances instead carry the
+// block's documented input-rounding error and the caller has opted into
+// that via LayoutF32. Observation modes share this body: ex/tr attribution
+// is per item (not per pair), which costs one predictable branch per row.
+func (s *Session) processPageRows(page *store.Page, active []*queryState, activeIdx []int, sc *seqScratch, f32 bool, ex *explainState, tr *obs.Tracer) {
+	observing := ex != nil || tr.Enabled()
+	var pageStart time.Time
+	if observing {
+		pageStart = time.Now()
+	}
+	b := page.Cols
+	rows := s.proc.rows
+	qds := sc.qds[:len(active)]
+	dOut := sc.rowD[:len(active)]
+	wOut := sc.rowW[:len(active)]
+	for i, st := range active {
+		qds[i] = st.queryDist()
+	}
+	var q64 []vec.Vector
+	var q32 [][]float32
+	if f32 {
+		q32 = sc.q32[:len(active)]
+		for i, st := range active {
+			q32[i] = st.f32()
+		}
+	} else {
+		q64 = sc.qvecs[:len(active)]
+		for i, st := range active {
+			q64[i] = st.q.Vec
+		}
+	}
+	var calcs, abandoned int64
+	for it := 0; it < b.N; it++ {
+		var ab int
+		if f32 {
+			ab = rows.RowWithinF32(q32, b, it, qds, dOut, wOut)
+		} else {
+			ab = rows.RowWithin(q64, b, it, qds, dOut, wOut)
+		}
+		calcs += int64(len(active))
+		abandoned += int64(ab)
+		if ex != nil {
+			for a := range active {
+				prof := &ex.prof[activeIdx[a]]
+				prof.distCalcs.Add(1)
+				if !wOut[a] {
+					prof.abandoned.Add(1)
+				}
+			}
+		}
+		if ab == len(active) {
+			continue // no lane within: nothing to Consider
+		}
+		id := page.Items[it].ID
+		for a, st := range active {
+			if wOut[a] {
+				if st.answers.Consider(id, dOut[a]) {
+					qds[a] = st.queryDist()
+				}
+			}
+		}
+	}
+	s.proc.metric.AddCalls(calcs, abandoned)
+	if observing {
+		kernelNs := time.Since(pageStart)
+		if ex != nil {
+			ex.observe(obs.PhaseKernel, kernelNs)
+		}
+		if tr.Enabled() {
+			tr.Observe(obs.PhaseKernel, kernelNs)
+		}
+	}
+}
+
 // processPage tests every item of page against every active query, using
 // the triangle inequality over already-known distances to avoid
 // calculations where possible. Unavoidable calculations run through the
@@ -510,36 +711,49 @@ type knownDist struct {
 // — for every later query on this item exactly where the exact distance
 // would, leaving DistCalcs and Avoided untouched relative to full-distance
 // evaluation. The partial result is appended to known like any other
-// distance, so later probes see the same entry sequence either way. known,
-// qds and raiseScratch are caller-owned scratch with cap >= len(active); their
-// contents are clobbered.
+// distance, so later probes see the same entry sequence either way. sc is
+// caller-owned scratch sized for the batch; its contents are clobbered.
 //
 // Distance calculations bypass the Counting wrapper: the loop calls the raw
 // kernel and settles the calc/abandon counts in one AddCalls batch per
 // page, trading two atomic updates per evaluation for two per page.
+//
+// Layouts: pages with a columnar block take the blocked row path when
+// rowPath holds (bit-identical for LayoutSoA; see rowPath). LayoutQuant
+// screens each pair through the quantized lower-bound filter before the
+// kernel: a rejected pair provably satisfies dist > qd, so it could not
+// have been an answer; it is not appended to known (Lemma 2 over a lower
+// bound is unsound) and is counted in QuantFiltered instead of DistCalcs.
+// Answers and page reads are unchanged; only the CPU counters shift.
 //
 // When a tracer is enabled the page is evaluated by processPageTraced — a
 // verbatim copy of this loop plus per-pair clock reads — so the untraced
 // hot path carries no per-pair branches at all. The two loops must stay in
 // lockstep; the traced differential test pins that their answers and
 // avoidance counters are identical.
-func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, sc *seqScratch) {
+	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
+	if useRows, f32 := s.rowPath(page, avoiding, len(active)); useRows {
+		s.processPageRows(page, active, activeIdx, sc, f32, s.explain, s.proc.tracer)
+		return
+	}
 	if ex := s.explain; ex != nil {
-		s.processPageExplain(ex, page, active, activeIdx, matrix, stats, known, qds, raiseScratch)
+		s.processPageExplain(ex, page, active, activeIdx, matrix, stats, sc)
 		return
 	}
 	if tr := s.proc.tracer; tr.Enabled() {
-		s.processPageTraced(tr, page, active, activeIdx, matrix, stats, known, qds, raiseScratch)
+		s.processPageTraced(tr, page, active, activeIdx, matrix, stats, sc)
 		return
 	}
-	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
 	kernel := s.proc.metric.Kernel()
+	filters := s.quantFilters(page, active, sc.filters)
 	var calcs, abandoned int64
 	// qds mirrors each active query's pruning distance exactly: a pruning
 	// distance changes only when the query's own Consider accepts an item
 	// (st.bound is fixed during the page loop), and every accept refreshes
 	// the mirror below — so the per-pair qd is a cached read, not a call.
-	qds = qds[:len(active)]
+	known := sc.known
+	qds := sc.qds[:len(active)]
 	for i, st := range active {
 		qds[i] = st.queryDist()
 	}
@@ -556,10 +770,14 @@ func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx 
 	// query transitions at most once per run.
 	var raise []float64
 	if avoiding {
-		raise = lemma1Raises(activeIdx, matrix, qds, raiseScratch)
+		raise = lemma1Raises(activeIdx, matrix, qds, sc.raise)
 	}
 	for it := range page.Items {
 		item := &page.Items[it]
+		var codes []uint8
+		if filters != nil {
+			codes = page.Cols.ItemCodes(it)
+		}
 		known = known[:0]
 		for a, st := range active {
 			pos := activeIdx[a]
@@ -571,6 +789,12 @@ func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx 
 					continue
 				}
 				limit = abandonLimit(qd, raise[a], len(known))
+			}
+			if filters != nil {
+				if f := filters[a]; f != nil && f.Exceeds(codes, qd) {
+					stats.QuantFiltered++
+					continue
+				}
 			}
 			d, within := kernel.DistanceWithin(st.q.Vec, item.Vec, limit)
 			calcs++
@@ -606,22 +830,28 @@ func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx 
 // decision, kernel limit, and Consider call is byte-for-byte the decision
 // the untraced loop makes, so answers and the DistCalcs/Avoided/AvoidTries
 // counters cannot differ. Keep this body in lockstep with processPage.
-func (s *Session) processPageTraced(tr *obs.Tracer, page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, known []knownDist, qds, raiseScratch []float64) {
+func (s *Session) processPageTraced(tr *obs.Tracer, page *store.Page, active []*queryState, activeIdx []int, matrix [][]float64, stats *Stats, sc *seqScratch) {
 	pageStart := time.Now()
 	var avoidNs time.Duration
 	avoiding := matrix != nil && s.proc.opts.Avoidance != AvoidOff
 	kernel := s.proc.metric.Kernel()
+	filters := s.quantFilters(page, active, sc.filters)
 	var calcs, abandoned int64
-	qds = qds[:len(active)]
+	known := sc.known
+	qds := sc.qds[:len(active)]
 	for i, st := range active {
 		qds[i] = st.queryDist()
 	}
 	var raise []float64
 	if avoiding {
-		raise = lemma1Raises(activeIdx, matrix, qds, raiseScratch)
+		raise = lemma1Raises(activeIdx, matrix, qds, sc.raise)
 	}
 	for it := range page.Items {
 		item := &page.Items[it]
+		var codes []uint8
+		if filters != nil {
+			codes = page.Cols.ItemCodes(it)
+		}
 		known = known[:0]
 		for a, st := range active {
 			pos := activeIdx[a]
@@ -636,6 +866,12 @@ func (s *Session) processPageTraced(tr *obs.Tracer, page *store.Page, active []*
 				}
 				limit = abandonLimit(qd, raise[a], len(known))
 				avoidNs += time.Since(t0)
+			}
+			if filters != nil {
+				if f := filters[a]; f != nil && f.Exceeds(codes, qd) {
+					stats.QuantFiltered++
+					continue
+				}
 			}
 			d, within := kernel.DistanceWithin(st.q.Vec, item.Vec, limit)
 			calcs++

@@ -11,6 +11,7 @@ import (
 	"metricdb/internal/engine"
 	"metricdb/internal/obs"
 	"metricdb/internal/store"
+	"metricdb/internal/vec"
 )
 
 // This file implements the intra-server parallel pipeline for multiple
@@ -273,20 +274,30 @@ func (s *Session) runPipeline(ctx context.Context, plan []engine.PageRef, states
 
 // pageScratch holds per-page buffers reused across the plan loop; the page
 // barrier guarantees no worker touches dists/snap once forEachChunk
-// returns. known is per-worker avoidance scratch ("AvoidingDists"): worker
-// w exclusively owns known[w] while it runs, so the buffers survive across
+// returns. qvecs/q32/filters are filled at the barrier and only read by
+// workers. known is per-worker avoidance scratch ("AvoidingDists") and
+// rowW the per-worker within-flag buffer of the row kernels: worker w
+// exclusively owns index w while it runs, so the buffers survive across
 // pages without locking or steady-state allocation.
 type pageScratch struct {
-	dists []float64
-	snap  []float64
-	raise []float64
-	known [][]knownDist
+	dists   []float64
+	snap    []float64
+	raise   []float64
+	qvecs   []vec.Vector
+	q32     [][]float32
+	filters []*vec.QuantFilter
+	known   [][]knownDist
+	rowW    [][]bool
 }
 
 func newPageScratch(width, nStates int) *pageScratch {
-	sc := &pageScratch{known: make([][]knownDist, width)}
+	sc := &pageScratch{
+		known: make([][]knownDist, width),
+		rowW:  make([][]bool, width),
+	}
 	for w := range sc.known {
 		sc.known[w] = make([]knownDist, 0, nStates)
+		sc.rowW[w] = make([]bool, nStates)
 	}
 	return sc
 }
@@ -324,6 +335,9 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	if cap(scratch.snap) < nActive {
 		scratch.snap = make([]float64, nActive)
 		scratch.raise = make([]float64, nActive)
+		scratch.qvecs = make([]vec.Vector, nActive)
+		scratch.q32 = make([][]float32, nActive)
+		scratch.filters = make([]*vec.QuantFilter, nActive)
 	}
 	dists := scratch.dists[:nItems*nActive]
 	snap := scratch.snap[:nActive]
@@ -341,10 +355,84 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	kernel := s.proc.metric.Kernel()
 	tr := s.proc.tracer
 	traced := tr.Enabled()
-	var tries, avoided atomic.Int64
+	// Layout dispatch happens at the barrier: the row inputs (query
+	// vectors, f32 roundings, quantized filters) are gathered here by the
+	// coordinator, so workers only read them. The row kernels take the
+	// page-start snapshot as their limits — exactly the limit every
+	// per-pair chunk twin below uses — so at any fixed width >= 2 the row
+	// path's distances, within flags and abandon points are bit-identical
+	// to the per-pair path's (for float64; f32 is the opted-in rounding).
+	useRows, rowsF32 := s.rowPath(page, avoiding, nActive)
+	rowsK := s.proc.rows
+	var qvecs []vec.Vector
+	var q32 [][]float32
+	if useRows {
+		if rowsF32 {
+			q32 = scratch.q32[:nActive]
+			for a, st := range active {
+				q32[a] = st.f32()
+			}
+		} else {
+			qvecs = scratch.qvecs[:nActive]
+			for a, st := range active {
+				qvecs[a] = st.q.Vec
+			}
+		}
+	}
+	filters := s.quantFilters(page, active, scratch.filters)
+	var tries, avoided, filteredN atomic.Int64
 	pool.forEachChunk(nItems, width, func(worker, lo, hi int) {
 		known := scratch.known[worker][:0]
 		var localTries, localAvoided, localCalcs, localAbandoned int64
+		if useRows {
+			// Row chunk: one kernel call per item covers the whole active
+			// set. Shared by all observation modes — attribution is per
+			// item, off the per-pair fast path.
+			ex := s.explain
+			observing := ex != nil || traced
+			var chunkStart time.Time
+			if observing {
+				chunkStart = time.Now()
+			}
+			wOut := scratch.rowW[worker][:nActive]
+			b := page.Cols
+			for it := lo; it < hi; it++ {
+				row := dists[it*nActive : (it+1)*nActive]
+				var ab int
+				if rowsF32 {
+					ab = rowsK.RowWithinF32(q32, b, it, snap, row, wOut)
+				} else {
+					ab = rowsK.RowWithin(qvecs, b, it, snap, row, wOut)
+				}
+				localCalcs += int64(nActive)
+				localAbandoned += int64(ab)
+				if ex != nil {
+					for a := range wOut {
+						prof := &ex.prof[activeIdx[a]]
+						prof.distCalcs.Add(1)
+						if !wOut[a] {
+							prof.abandoned.Add(1)
+						}
+					}
+				}
+				for a := range wOut {
+					if !wOut[a] {
+						row[a] = skippedDist
+					}
+				}
+			}
+			s.proc.metric.AddCalls(localCalcs, localAbandoned)
+			if observing {
+				kernelNs := time.Since(chunkStart)
+				if ex != nil {
+					ex.observe(obs.PhaseKernel, kernelNs)
+				}
+				if traced {
+					tr.Observe(obs.PhaseKernel, kernelNs)
+				}
+			}
+			return
+		}
 		if ex := s.explain; ex != nil {
 			// Explain chunk twin: the same snapshot-pure decisions as the
 			// loops below, plus per-query profile attribution and the
@@ -355,6 +443,10 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 			var avoidNs time.Duration
 			for it := lo; it < hi; it++ {
 				item := &page.Items[it]
+				var codes []uint8
+				if filters != nil {
+					codes = page.Cols.ItemCodes(it)
+				}
 				row := dists[it*nActive : (it+1)*nActive]
 				known = known[:0]
 				for a := range active {
@@ -380,6 +472,14 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 						}
 						limit = abandonLimit(snap[a], raise[a], len(known))
 						avoidNs += time.Since(t0)
+					}
+					if filters != nil {
+						if f := filters[a]; f != nil && f.Exceeds(codes, snap[a]) {
+							filteredN.Add(1)
+							prof.filtered.Add(1)
+							row[a] = skippedDist
+							continue
+						}
 					}
 					d, within := kernel.DistanceWithin(active[a].q.Vec, item.Vec, limit)
 					localCalcs++
@@ -421,6 +521,10 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 			var avoidNs time.Duration
 			for it := lo; it < hi; it++ {
 				item := &page.Items[it]
+				var codes []uint8
+				if filters != nil {
+					codes = page.Cols.ItemCodes(it)
+				}
 				row := dists[it*nActive : (it+1)*nActive]
 				known = known[:0]
 				for a := range active {
@@ -435,6 +539,13 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 						}
 						limit = abandonLimit(snap[a], raise[a], len(known))
 						avoidNs += time.Since(t0)
+					}
+					if filters != nil {
+						if f := filters[a]; f != nil && f.Exceeds(codes, snap[a]) {
+							filteredN.Add(1)
+							row[a] = skippedDist
+							continue
+						}
 					}
 					d, within := kernel.DistanceWithin(active[a].q.Vec, item.Vec, limit)
 					localCalcs++
@@ -462,6 +573,10 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 		}
 		for it := lo; it < hi; it++ {
 			item := &page.Items[it]
+			var codes []uint8
+			if filters != nil {
+				codes = page.Cols.ItemCodes(it)
+			}
 			row := dists[it*nActive : (it+1)*nActive]
 			known = known[:0]
 			for a := range active {
@@ -473,6 +588,13 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 						continue
 					}
 					limit = abandonLimit(snap[a], raise[a], len(known))
+				}
+				if filters != nil {
+					if f := filters[a]; f != nil && f.Exceeds(codes, snap[a]) {
+						filteredN.Add(1)
+						row[a] = skippedDist
+						continue
+					}
 				}
 				d, within := kernel.DistanceWithin(active[a].q.Vec, item.Vec, limit)
 				localCalcs++
@@ -493,6 +615,7 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	})
 	stats.AvoidTries += tries.Load()
 	stats.Avoided += avoided.Load()
+	stats.QuantFiltered += filteredN.Load()
 
 	pool.forEachChunk(nActive, width, func(_, lo, hi int) {
 		ex := s.explain

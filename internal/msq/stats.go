@@ -33,6 +33,14 @@ type Stats struct {
 	// Avoided counts distance calculations skipped thanks to the
 	// triangle inequality.
 	Avoided int64
+	// QuantFiltered counts (query, item) pairs rejected by the quantized
+	// lower-bound filter before any exact distance calculation: the
+	// VA-file-style cell bound already exceeded the query's pruning
+	// radius. A filtered pair appears in neither DistCalcs nor Avoided —
+	// it is a third, cheaper disposal. Answers and page reads are
+	// unaffected because the bound is conservative: every pair that could
+	// be an answer survives to the exact float64 kernel.
+	QuantFiltered int64
 	// PartialAbandoned counts the subset of DistCalcs that the bounded
 	// distance kernels resolved early: the running partial result already
 	// exceeded the query's pruning bound, so the exact distance was
@@ -65,6 +73,7 @@ func (s Stats) Add(t Stats) Stats {
 		MatrixDistCalcs:  s.MatrixDistCalcs + t.MatrixDistCalcs,
 		AvoidTries:       s.AvoidTries + t.AvoidTries,
 		Avoided:          s.Avoided + t.Avoided,
+		QuantFiltered:    s.QuantFiltered + t.QuantFiltered,
 		PartialAbandoned: s.PartialAbandoned + t.PartialAbandoned,
 
 		Degraded:           s.Degraded || t.Degraded,

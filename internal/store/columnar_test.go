@@ -1,0 +1,286 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metricdb/internal/vec"
+)
+
+// regularItems builds items with finite, well-spread coordinates (testItems
+// mixes in 1e300-scale extremes that are legal for the format but make
+// quantization-grid assertions awkward).
+func regularItems(n, dim int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		v := make(vec.Vector, dim)
+		for d := range v {
+			v[d] = float64((i*31+d*17)%97)/9.7 - 5
+		}
+		items[i] = Item{ID: ItemID(i + 1), Vec: v, Label: i % 3}
+	}
+	return items
+}
+
+func TestColumnizeAliasesAndPreserves(t *testing.T) {
+	items := regularItems(23, 5)
+	orig := make([]vec.Vector, len(items))
+	for i := range items {
+		orig[i] = append(vec.Vector(nil), items[i].Vec...)
+	}
+	pages, err := Paginate(items, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := CoordinateBounds(pages, 5)
+	g, err := vec.BuildQuantGrid(6, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Columnize(pages, ColumnSpec{Columnar: true, F32: true, Quant: g}); err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for _, p := range pages {
+		b := p.Cols
+		if b == nil || b.F32 == nil || b.Codes == nil || b.Grid != g || b.CodeBits != 6 {
+			t.Fatalf("page %d: block missing requested representations: %+v", p.ID, b)
+		}
+		for i := range p.Items {
+			if &p.Items[i].Vec[0] != &b.Item(i)[0] {
+				t.Fatalf("page %d item %d: vector does not alias block row", p.ID, i)
+			}
+			for d, v := range p.Items[i].Vec {
+				if math.Float64bits(v) != math.Float64bits(orig[k][d]) {
+					t.Fatalf("page %d item %d dim %d: value changed %v -> %v", p.ID, i, d, orig[k][d], v)
+				}
+				if b.ItemF32(i)[d] != float32(v) {
+					t.Fatalf("page %d item %d dim %d: f32 sibling mismatch", p.ID, i, d)
+				}
+			}
+			k++
+		}
+	}
+	// Idempotent: a second pass must not rebuild anything.
+	before := pages[0].Cols
+	if err := Columnize(pages, ColumnSpec{Columnar: true, F32: true, Quant: g}); err != nil {
+		t.Fatal(err)
+	}
+	if pages[0].Cols != before {
+		t.Fatal("re-columnize replaced an up-to-date block")
+	}
+}
+
+func TestColumnSourceWrapsV1Reads(t *testing.T) {
+	items := regularItems(40, 4)
+	pages, err := Paginate(items, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewDisk(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := CoordinateBounds(pages, 4)
+	g, err := vec.BuildQuantGrid(4, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := WrapColumns(disk, ColumnSpec{Columnar: true, F32: true, Quant: g})
+	if src == PageSource(disk) {
+		t.Fatal("non-empty spec returned the source unwrapped")
+	}
+	if WrapColumns(disk, ColumnSpec{}) != PageSource(disk) {
+		t.Fatal("empty spec should not wrap")
+	}
+	if UnwrapSource(src) != PageSource(disk) {
+		t.Fatal("UnwrapSource did not strip the column wrapper")
+	}
+	for pid := 0; pid < src.NumPages(); pid++ {
+		p, err := src.Read(PageID(pid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cols == nil || p.Cols.F32 == nil || p.Cols.Codes == nil {
+			t.Fatalf("page %d read through wrapper lacks columnar representations", pid)
+		}
+	}
+	if got, want := src.Stats().Reads, int64(src.NumPages()); got != want {
+		t.Fatalf("wrapper forwarded %d reads, want %d", got, want)
+	}
+	if src.ResetStats().Reads == 0 || src.Stats().Reads != 0 {
+		t.Fatal("wrapper did not forward ResetStats")
+	}
+}
+
+// TestWriteDatasetColumnar round-trips a dataset built with every sibling
+// representation through the file disk: version-2 manifest, bit-identical
+// coordinates, siblings present, and the manifest grid attached to every
+// decoded page.
+func TestWriteDatasetColumnar(t *testing.T) {
+	dir := t.TempDir()
+	items := regularItems(50, 3)
+	pages, err := Paginate(items, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := DatasetMeta{Dim: 3, PageCapacity: 8, F32: true, QuantBits: 5,
+		Attrs: map[string]string{"kind": "test"}}
+	if err := WriteDataset(dir, pages, meta, WriteOptions{NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenFileDisk(dir, FileDiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //nolint:errcheck
+	man := d.Manifest()
+	if man.Version != FormatVersionColumnar || !man.Columnar || !man.F32 || man.Quant == nil || man.Quant.Bits != 5 {
+		t.Fatalf("manifest misses columnar facts: %+v", man)
+	}
+	g := man.Quant.Grid()
+	k := 0
+	for pid := 0; pid < d.NumPages(); pid++ {
+		p, err := d.Read(PageID(pid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := p.Cols
+		if b == nil || b.F32 == nil || b.Codes == nil || b.CodeBits != 5 {
+			t.Fatalf("page %d decoded without requested representations", pid)
+		}
+		if b.Grid == nil || b.Grid.Bits != g.Bits {
+			t.Fatalf("page %d decoded without the manifest grid attached", pid)
+		}
+		codes := make([]uint8, 3)
+		for i := range p.Items {
+			if p.Items[i].ID != items[k].ID || p.Items[i].Label != items[k].Label {
+				t.Fatalf("page %d item %d identity mismatch", pid, i)
+			}
+			for dd, v := range p.Items[i].Vec {
+				if math.Float64bits(v) != math.Float64bits(items[k].Vec[dd]) {
+					t.Fatalf("page %d item %d dim %d: coordinate not bit-identical", pid, i, dd)
+				}
+				if b.ItemF32(i)[dd] != float32(v) {
+					t.Fatalf("page %d item %d dim %d: f32 sibling mismatch", pid, i, dd)
+				}
+			}
+			b.Grid.EncodeInto(p.Items[i].Vec, codes)
+			for dd, c := range b.ItemCodes(i) {
+				if c != codes[dd] {
+					t.Fatalf("page %d item %d dim %d: stored code %d, grid encodes %d", pid, i, dd, c, codes[dd])
+				}
+			}
+			k++
+		}
+	}
+	if k != len(items) {
+		t.Fatalf("read back %d items, wrote %d", k, len(items))
+	}
+}
+
+// TestWriteDatasetPlainStaysV1 pins the compatibility promise: a build with
+// no columnar requests still writes a version-1 dataset.
+func TestWriteDatasetPlainStaysV1(t *testing.T) {
+	dir := t.TempDir()
+	pages, err := Paginate(regularItems(10, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataset(dir, pages, DatasetMeta{Dim: 2}, WriteOptions{NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenFileDisk(dir, FileDiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //nolint:errcheck
+	if d.Manifest().Version != FormatVersion || d.Manifest().Columnar {
+		t.Fatalf("plain build produced manifest %+v", d.Manifest())
+	}
+	p, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cols != nil {
+		t.Fatal("version-1 record decoded with a columnar block")
+	}
+}
+
+// TestWriteDatasetAdoptsPageBlocks: pages that already arrive columnar force
+// a version-2 dataset even when the meta requests nothing.
+func TestWriteDatasetAdoptsPageBlocks(t *testing.T) {
+	dir := t.TempDir()
+	pages, err := Paginate(regularItems(20, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := CoordinateBounds(pages, 4)
+	g, err := vec.BuildQuantGrid(7, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Columnize(pages, ColumnSpec{Columnar: true, Quant: g}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataset(dir, pages, DatasetMeta{Dim: 4}, WriteOptions{NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenFileDisk(dir, FileDiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //nolint:errcheck
+	man := d.Manifest()
+	if man.Version != FormatVersionColumnar || man.F32 || man.Quant == nil || man.Quant.Bits != 7 {
+		t.Fatalf("adopted manifest wrong: %+v", man)
+	}
+	p, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cols == nil || p.Cols.Codes == nil || p.Cols.F32 != nil {
+		t.Fatal("adopted dataset pages miss the representations the build carried")
+	}
+}
+
+// TestFileDiskRejectsSectionMismatch: a manifest whose quantization width
+// disagrees with the page records (same record length, so it survives both
+// the manifest shape check and the CRC) is caught by the read-time
+// cross-check, never silently served with the wrong grid.
+func TestFileDiskRejectsSectionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	pages, err := Paginate(regularItems(12, 3), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataset(dir, pages, DatasetMeta{Dim: 3, QuantBits: 5}, WriteOptions{NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Quant.Bits = 6 // same section length, different grid width
+	body, err := EncodeManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), body, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenFileDisk(dir, FileDiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //nolint:errcheck
+	if _, err := d.Read(0); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("section mismatch read returned %v, want ErrCorruptPage", err)
+	}
+	if d.Storage().ChecksumFailures != 1 {
+		t.Fatalf("mismatch not counted as checksum failure: %+v", d.Storage())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"metricdb/internal/obs"
+	"metricdb/internal/vec"
 )
 
 // FileDiskOptions parameterizes OpenFileDisk.
@@ -47,6 +48,9 @@ type FileDisk struct {
 	f    *os.File
 	data []byte // non-nil in mmap mode
 	mode string // "pread" or "mmap"
+	// grid is the dataset-wide quantization grid from the manifest, shared
+	// by every decoded columnar page that carries a code section.
+	grid *vec.QuantGrid
 
 	mu        sync.Mutex
 	lastRead  PageID
@@ -74,7 +78,7 @@ func OpenFileDisk(dir string, opts FileDiskOptions) (*FileDisk, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &FileDisk{dir: dir, man: man, mode: "pread", lastRead: InvalidPage - 1}
+	d := &FileDisk{dir: dir, man: man, mode: "pread", lastRead: InvalidPage - 1, grid: man.Quant.Grid()}
 	if len(man.Pages) > 0 {
 		f, err := os.Open(filepath.Join(dir, man.PagesFile))
 		if err != nil {
@@ -188,6 +192,20 @@ func (d *FileDisk) fetch(pid PageID) (*Page, error) {
 	if page.ID != pid || len(page.Items) != e.Items || crcOf(rec) != e.CRC32C {
 		d.checksumErr.Add(1)
 		return nil, fmt.Errorf("store: page %d: %w: record disagrees with manifest entry", pid, ErrCorruptPage)
+	}
+	if (page.Cols != nil) != d.man.Columnar {
+		d.checksumErr.Add(1)
+		return nil, fmt.Errorf("store: page %d: %w: record layout disagrees with manifest", pid, ErrCorruptPage)
+	}
+	if c := page.Cols; c != nil {
+		if (c.F32 != nil) != d.man.F32 || (c.Codes != nil) != (d.man.Quant != nil) ||
+			(d.man.Quant != nil && c.CodeBits != d.man.Quant.Bits) {
+			d.checksumErr.Add(1)
+			return nil, fmt.Errorf("store: page %d: %w: record sections disagree with manifest", pid, ErrCorruptPage)
+		}
+		// Attach the dataset-wide grid so code sections are usable for
+		// filtering without re-reading the manifest per page.
+		c.Grid = d.grid
 	}
 	return page, nil
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -81,6 +82,109 @@ func FuzzPageDecode(f *testing.F) {
 	})
 }
 
+// FuzzColumnarPageDecode targets the version-2 (columnar) page-record
+// decoder with seeds covering every sibling combination. Same contract as
+// FuzzPageDecode — never panic, never allocate from an unvalidated size —
+// plus the columnar structural invariants: an accepted record yields a
+// block whose rows the item vectors alias and whose sibling sections match
+// the header flags, and re-encoding reproduces the input bit for bit.
+func FuzzColumnarPageDecode(f *testing.F) {
+	seed := func(n, dim int, f32 bool, qbits int) []byte {
+		items := testItems(n, dim)
+		p := &Page{ID: 7, Items: items}
+		spec := ColumnSpec{Columnar: true, F32: f32}
+		if qbits > 0 {
+			lo, hi := ItemCoordinateBounds(items, dim)
+			g, err := vec.BuildQuantGrid(qbits, lo, hi)
+			if err != nil {
+				f.Fatal(err)
+			}
+			spec.Quant = g
+		}
+		if err := ColumnizePage(p, spec); err != nil {
+			f.Fatal(err)
+		}
+		if p.Cols == nil {
+			p.Cols = vec.NewBlock(dim, 0)
+		}
+		rec, err := EncodePage(p, dim)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return rec
+	}
+	f.Add([]byte{})
+	f.Add(seed(0, 3, false, 0))
+	f.Add(seed(1, 1, false, 0))
+	f.Add(seed(16, 4, false, 0))
+	f.Add(seed(16, 4, true, 0))
+	f.Add(seed(16, 4, false, 6))
+	f.Add(seed(16, 4, true, 8))
+	f.Add(seed(5, 20, true, 1))
+	badFlags := seed(16, 4, true, 0)
+	badFlags[16] |= 4 // unknown flag bit
+	f.Add(badFlags)
+	trunc := seed(16, 4, true, 6)
+	f.Add(trunc[:len(trunc)-9])
+	huge := seed(1, 1, false, 0)
+	huge[8] = 0xFF // implausible item count
+	huge[9] = 0xFF
+	huge[10] = 0xFF
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePage(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("decoder returned both a page and an error")
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("decoder returned neither page nor error")
+		}
+		if len(data) < 16 || binary.LittleEndian.Uint32(data[0:4]) != pageMagic2 {
+			return // version-1 record; FuzzPageDecode owns those invariants
+		}
+		b := p.Cols
+		if b == nil {
+			t.Fatal("columnar record decoded without a block")
+		}
+		dim := int(binary.LittleEndian.Uint32(data[12:16]))
+		if b.Dim != dim || b.N != len(p.Items) {
+			t.Fatalf("block is %d×%d, record header says %d items × dim %d", b.N, b.Dim, len(p.Items), dim)
+		}
+		if len(b.F64) != b.N*b.Dim {
+			t.Fatal("block buffer length disagrees with its shape")
+		}
+		if b.F32 != nil && len(b.F32) != b.N*b.Dim {
+			t.Fatal("float32 sibling length disagrees with block shape")
+		}
+		if b.Codes != nil {
+			if len(b.Codes) != b.N*b.Dim {
+				t.Fatal("code sibling length disagrees with block shape")
+			}
+			if b.CodeBits < 1 || b.CodeBits > 8 {
+				t.Fatalf("accepted %d quantization bits", b.CodeBits)
+			}
+		} else if b.CodeBits != 0 {
+			t.Fatal("code bits without a code section")
+		}
+		for i := range p.Items {
+			if dim > 0 && &p.Items[i].Vec[0] != &b.Item(i)[0] {
+				t.Fatalf("item %d vector does not alias its block row", i)
+			}
+		}
+		re, err := EncodePage(p, dim)
+		if err != nil {
+			t.Fatalf("re-encode of decoded page failed: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatal("decode/encode round trip altered the record")
+		}
+	})
+}
+
 // FuzzManifestDecode throws arbitrary bytes at the manifest decoder: never
 // panic, and any accepted manifest satisfies the structural invariants the
 // FileDisk relies on (contiguous entries, consistent sums, a page file
@@ -114,12 +218,55 @@ func FuzzManifestDecode(f *testing.F) {
 		}
 		return body
 	}
+	validV2 := func(n, dim, capacity, qbits int) []byte {
+		pages, err := Paginate(testItems(n, dim), capacity)
+		if err != nil {
+			f.Fatal(err)
+		}
+		spec := ColumnSpec{Columnar: true, F32: true}
+		man := Manifest{
+			Magic: ManifestMagic, Version: FormatVersionColumnar, Generation: 1,
+			Items: n, Dim: dim, PageCapacity: capacity,
+			PagesFile: "pages-g00000001.dat",
+			Columnar:  true, F32: true,
+		}
+		if qbits > 0 {
+			lo, hi := CoordinateBounds(pages, dim)
+			g, err := vec.BuildQuantGrid(qbits, lo, hi)
+			if err != nil {
+				f.Fatal(err)
+			}
+			spec.Quant = g
+			man.Quant = NewQuantGridManifest(g)
+		}
+		if err := Columnize(pages, spec); err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range pages {
+			rec, err := EncodePage(p, dim)
+			if err != nil {
+				f.Fatal(err)
+			}
+			man.Pages = append(man.Pages, PageEntry{
+				Offset: man.PagesBytes, Length: int64(len(rec)),
+				Items: len(p.Items), CRC32C: crcOf(rec),
+			})
+			man.PagesBytes += int64(len(rec))
+		}
+		body, err := EncodeManifest(&man)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return body
+	}
 	f.Add([]byte{})
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"magic":"metricdb-dataset-dir","version":1}`))
 	f.Add(valid(0, 0, 4))
 	f.Add(valid(40, 4, 16))
 	f.Add(valid(7, 2, 3))
+	f.Add(validV2(12, 3, 5, 0))
+	f.Add(validV2(12, 3, 5, 6))
 	evil := valid(7, 2, 3)
 	f.Add([]byte(string(evil)[:len(evil)/2]))
 
@@ -128,8 +275,17 @@ func FuzzManifestDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if m.Magic != ManifestMagic || m.Version != FormatVersion {
+		if m.Magic != ManifestMagic || (m.Version != FormatVersion && m.Version != FormatVersionColumnar) {
 			t.Fatal("accepted manifest with wrong magic or version")
+		}
+		if m.Version == FormatVersion && (m.Columnar || m.F32 || m.Quant != nil) {
+			t.Fatal("accepted version-1 manifest claiming columnar fields")
+		}
+		if m.Version == FormatVersionColumnar && !m.Columnar {
+			t.Fatal("accepted version-2 manifest without the columnar flag")
+		}
+		if q := m.Quant; q != nil && (q.Bits < 1 || q.Bits > 8 || len(q.Min) != m.Dim || len(q.Step) != m.Dim) {
+			t.Fatal("accepted manifest with malformed quantization grid")
 		}
 		if m.Items < 0 || m.Dim < 0 || m.PageCapacity < 0 || m.Generation < 0 {
 			t.Fatal("accepted manifest with negative shape")

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"metricdb/internal/vec"
 )
 
 // FileOp names one filesystem mutation of the dataset writer. The write
@@ -69,6 +71,15 @@ type DatasetMeta struct {
 	PageCapacity int
 	// Attrs is copied into the manifest verbatim.
 	Attrs map[string]string
+	// Columnar requests version-2 columnar page records even without
+	// sibling sections (a dataset that opens straight into SoA pages).
+	// Pages that already carry a columnar block force this on.
+	Columnar bool
+	// F32 requests the float32 sibling section in every page record.
+	F32 bool
+	// QuantBits, when 1..8, requests quantized code sections on a
+	// dataset-wide grid computed from the pages' coordinate bounds.
+	QuantBits int
 }
 
 // WriteDataset builds (or atomically replaces) the persistent dataset in
@@ -109,6 +120,58 @@ func WriteDataset(dir string, pages []*Page, meta DatasetMeta, opts WriteOptions
 		return fmt.Errorf("store: %w", err)
 	}
 
+	// Resolve the columnar shape of the build: what the meta requests,
+	// widened by whatever the pages already carry (a page that arrives
+	// with a block is encoded as a version-2 record, so the manifest must
+	// say so). Requested-but-missing representations are materialized
+	// here, before any byte is written.
+	spec := ColumnSpec{Columnar: meta.Columnar, F32: meta.F32}
+	var grid *vec.QuantGrid
+	wantBits := meta.QuantBits
+	for _, p := range pages {
+		if c := p.Cols; c != nil {
+			spec.Columnar = true
+			if c.F32 != nil {
+				spec.F32 = true
+			}
+			if c.Codes != nil {
+				if grid == nil && c.Grid != nil {
+					grid = c.Grid
+				}
+				if wantBits == 0 {
+					wantBits = c.CodeBits // gridless pages: rebuild at their width
+				}
+			}
+		}
+	}
+	if wantBits != 0 || grid != nil {
+		if grid == nil || (wantBits != 0 && grid.Bits != wantBits) {
+			lo, hi := CoordinateBounds(pages, dim)
+			var err error
+			if grid, err = vec.BuildQuantGrid(wantBits, lo, hi); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		spec.Quant = grid
+	}
+	if spec.Any() {
+		spec.Columnar = true
+		for _, p := range pages {
+			if err := ColumnizePage(p, spec); err != nil {
+				return err
+			}
+			if len(p.Items) == 0 && p.Cols == nil {
+				p.Cols = vec.NewBlock(dim, 0) // itemless pages still need v2 records
+			}
+			// Codes from a foreign grid would desynchronize record and
+			// manifest; re-derive on the dataset-wide grid (idempotent
+			// when the grids match).
+			if grid != nil && p.Cols != nil && len(p.Items) > 0 && p.Cols.Grid != grid {
+				p.Cols.DeriveCodes(grid)
+			}
+		}
+	}
+
 	// The new generation is one past the published one, so the new page
 	// file's name cannot collide with the file the live manifest needs.
 	gen := int64(1)
@@ -120,15 +183,22 @@ func WriteDataset(dir string, pages []*Page, meta DatasetMeta, opts WriteOptions
 
 	w := &buildWriter{dir: dir, opts: opts}
 	pagesName := fmt.Sprintf("pages-g%08d.dat", gen)
+	version := FormatVersion
+	if spec.Columnar {
+		version = FormatVersionColumnar
+	}
 	man := &Manifest{
 		Magic:        ManifestMagic,
-		Version:      FormatVersion,
+		Version:      version,
 		Generation:   gen,
 		Items:        items,
 		Dim:          dim,
 		PageCapacity: capacity,
 		PagesFile:    pagesName,
 		Attrs:        meta.Attrs,
+		Columnar:     spec.Columnar,
+		F32:          spec.F32,
+		Quant:        NewQuantGridManifest(spec.Quant),
 		Pages:        make([]PageEntry, 0, len(pages)),
 	}
 

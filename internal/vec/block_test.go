@@ -1,0 +1,427 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testBlock(t *testing.T, rng *rand.Rand, dim, n int) *Block {
+	t.Helper()
+	b := NewBlock(dim, n)
+	for i := 0; i < n; i++ {
+		row := make(Vector, dim)
+		for d := range row {
+			row[d] = rng.NormFloat64()
+		}
+		b.SetItem(i, row)
+	}
+	return b
+}
+
+func blockBounds(b *Block) (lo, hi []float64) {
+	lo = make([]float64, b.Dim)
+	hi = make([]float64, b.Dim)
+	for d := 0; d < b.Dim; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for i := 0; i < b.N; i++ {
+		for d, v := range b.Item(i) {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+func blockMetrics(t *testing.T, dim int) []BoundedMetric {
+	t.Helper()
+	mink, err := NewMinkowski(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(Vector, dim)
+	for i := range w {
+		w[i] = 0.5 + float64(i%4)
+	}
+	wgt, err := NewWeightedEuclidean(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident := make([]float64, dim*dim)
+	for i := 0; i < dim; i++ {
+		ident[i*dim+i] = 1
+	}
+	qf, err := NewQuadraticForm(dim, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []BoundedMetric{
+		Euclidean{}, Manhattan{}, Chebyshev{}, mink, wgt,
+		NewCounting(qf).Kernel(), // generic fallback path
+	}
+}
+
+// TestBlockRowIdentical asserts the row kernels are bit-identical to
+// per-pair DistanceWithin calls for every metric, across limit regimes
+// (infinite, tight, mixed) and query counts that exercise the grouped
+// fast path, its remainder, and the scalar lanes.
+func TestBlockRowIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, dim := range []int{1, 3, 4, 7, 16, 33} {
+		b := testBlock(t, rng, dim, 24)
+		for _, metric := range blockMetrics(t, dim) {
+			k := NewBlockKernel(metric)
+			for _, m := range []int{1, 2, 4, 5, 8, 11} {
+				queries := make([]Vector, m)
+				for a := range queries {
+					queries[a] = make(Vector, dim)
+					for d := range queries[a] {
+						queries[a][d] = rng.NormFloat64()
+					}
+				}
+				for _, regime := range []string{"inf", "tight", "mixed"} {
+					limits := make([]float64, m)
+					for a := range limits {
+						switch regime {
+						case "inf":
+							limits[a] = math.Inf(1)
+						case "tight":
+							limits[a] = 0.5 * rng.Float64() * float64(dim)
+						default:
+							if a%2 == 0 {
+								limits[a] = math.Inf(1)
+							} else {
+								limits[a] = rng.Float64() * float64(dim)
+							}
+						}
+					}
+					dOut := make([]float64, m)
+					wOut := make([]bool, m)
+					for i := 0; i < b.N; i++ {
+						ab := k.RowWithin(queries, b, i, limits, dOut, wOut)
+						wantAb := 0
+						for a := range queries {
+							d, w := metric.DistanceWithin(queries[a], b.Item(i), limits[a])
+							if w != wOut[a] {
+								t.Fatalf("%s dim=%d m=%d %s: row (%d,%d) within %v want %v",
+									metric.Name(), dim, m, regime, a, i, wOut[a], w)
+							}
+							// dOut is contractual only where within holds;
+							// an abandoned lane must merely exceed its limit.
+							if w && math.Float64bits(d) != math.Float64bits(dOut[a]) {
+								t.Fatalf("%s dim=%d m=%d %s: row (%d,%d) dist %v want %v",
+									metric.Name(), dim, m, regime, a, i, dOut[a], d)
+							}
+							if !w {
+								if !(dOut[a] > limits[a]) {
+									t.Fatalf("%s dim=%d m=%d %s: row (%d,%d) abandoned dist %v not beyond limit %v",
+										metric.Name(), dim, m, regime, a, i, dOut[a], limits[a])
+								}
+								wantAb++
+							}
+						}
+						if ab != wantAb {
+							t.Fatalf("%s dim=%d m=%d %s: abandoned %d want %d", metric.Name(), dim, m, regime, ab, wantAb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceBlockWithinTile asserts the tile helper reproduces RowWithin
+// row by row and returns exact batch counter deltas.
+func TestDistanceBlockWithinTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	dim, n, m := 8, 20, 6
+	b := testBlock(t, rng, dim, n)
+	k := NewBlockKernel(Euclidean{})
+	queries := make([]Vector, m)
+	limits := make([]float64, m)
+	for a := range queries {
+		queries[a] = make(Vector, dim)
+		for d := range queries[a] {
+			queries[a][d] = rng.NormFloat64()
+		}
+		limits[a] = rng.Float64() * 3
+	}
+	lo, hi := 3, 17
+	dOut := make([][]float64, hi-lo)
+	wOut := make([][]bool, hi-lo)
+	for i := range dOut {
+		dOut[i] = make([]float64, m)
+		wOut[i] = make([]bool, m)
+	}
+	calcs, abandoned := DistanceBlockWithin(k, queries, b, lo, hi, limits, dOut, wOut)
+	if calcs != int64((hi-lo)*m) {
+		t.Fatalf("calcs %d want %d", calcs, (hi-lo)*m)
+	}
+	var wantAb int64
+	for i := lo; i < hi; i++ {
+		for a := range queries {
+			d, w := euclideanWithin(queries[a], b.Item(i), limits[a])
+			if w != wOut[i-lo][a] {
+				t.Fatalf("tile (%d,%d) within mismatch", i, a)
+			}
+			if w && math.Float64bits(d) != math.Float64bits(dOut[i-lo][a]) {
+				t.Fatalf("tile (%d,%d) dist mismatch", i, a)
+			}
+			if !w && !(dOut[i-lo][a] > limits[a]) {
+				t.Fatalf("tile (%d,%d) abandoned dist %v not beyond limit %v", i, a, dOut[i-lo][a], limits[a])
+			}
+			if !w {
+				wantAb++
+			}
+		}
+	}
+	if abandoned != wantAb {
+		t.Fatalf("abandoned %d want %d", abandoned, wantAb)
+	}
+}
+
+// TestBlockF32Bound asserts the float32 row kernels stay within the
+// documented input-rounding error of the exact float64 distance, and that
+// the within=false direction still implies the f32 distance exceeds the
+// limit (the lower-bound contract in f32 space).
+func TestBlockF32Bound(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, metric := range []BoundedMetric{Euclidean{}, Manhattan{}, Chebyshev{}} {
+		k := NewBlockKernel(metric)
+		if !k.SupportsF32() {
+			t.Fatalf("%s: expected float32 support", metric.Name())
+		}
+		for _, dim := range []int{2, 8, 19} {
+			b := testBlock(t, rng, dim, 16)
+			b.DeriveF32()
+			m := 5
+			queries := make([]Vector, m)
+			q32 := make([][]float32, m)
+			limits := make([]float64, m)
+			for a := range queries {
+				queries[a] = make(Vector, dim)
+				for d := range queries[a] {
+					queries[a][d] = rng.NormFloat64()
+				}
+				q32[a] = ToF32(queries[a])
+				limits[a] = math.Inf(1)
+			}
+			dOut := make([]float64, m)
+			wOut := make([]bool, m)
+			for i := 0; i < b.N; i++ {
+				k.RowWithinF32(q32, b, i, limits, dOut, wOut)
+				for a := range queries {
+					exact := metric.Distance(queries[a], b.Item(i))
+					// Coordinates are O(1) normals; rounding each input to
+					// float32 perturbs each |a_i - b_i| term by at most
+					// ~2^-23 of the coordinate magnitudes, so a generous
+					// per-dimension envelope catches real kernel bugs
+					// without flaking on legitimate rounding.
+					bound := float64(dim+1) * 64 * (1.0 / (1 << 23))
+					if math.Abs(dOut[a]-exact) > bound {
+						t.Fatalf("%s dim=%d: f32 distance %v vs exact %v exceeds bound %v",
+							metric.Name(), dim, dOut[a], exact, bound)
+					}
+					if !wOut[a] {
+						t.Fatalf("%s: infinite limit must always be within", metric.Name())
+					}
+					pd, pw := k.PairWithinF32(q32[a], b, i, math.Inf(1))
+					if math.Float64bits(pd) != math.Float64bits(dOut[a]) || !pw {
+						t.Fatalf("%s: PairWithinF32 disagrees with RowWithinF32", metric.Name())
+					}
+				}
+			}
+			// Bounded regime: within=false must imply f32 distance > limit.
+			for a := range limits {
+				limits[a] = rng.Float64() * 2
+			}
+			for i := 0; i < b.N; i++ {
+				k.RowWithinF32(q32, b, i, limits, dOut, wOut)
+				for a := range queries {
+					full, _ := k.PairWithinF32(q32[a], b, i, math.Inf(1))
+					if wOut[a] {
+						if math.Float64bits(dOut[a]) != math.Float64bits(full) {
+							t.Fatalf("%s: within=true f32 distance not exact", metric.Name())
+						}
+						if dOut[a] > limits[a] {
+							t.Fatalf("%s: within=true but d > limit", metric.Name())
+						}
+					} else if full <= limits[a] {
+						t.Fatalf("%s: abandoned pair actually within limit (d=%v limit=%v)", metric.Name(), full, limits[a])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantGridEncodeInvariant asserts the drift-guarded cell assignment
+// invariant: every value lies at or above its cell's lower edge (cells
+// above 0) and strictly below the next edge (cells below the top).
+func TestQuantGridEncodeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for _, bits := range []int{1, 4, 6, 8} {
+		dim := 6
+		b := testBlock(t, rng, dim, 200)
+		lo, hi := blockBounds(b)
+		g, err := BuildQuantGrid(bits, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes := make([]uint8, dim)
+		top := g.Cells() - 1
+		for i := 0; i < b.N; i++ {
+			g.EncodeInto(b.Item(i), codes)
+			for d, v := range b.Item(i) {
+				c := int(codes[d])
+				if c > 0 && v < g.boundary(d, c) {
+					t.Fatalf("bits=%d item %d dim %d: %v below cell %d lower edge %v", bits, i, d, v, c, g.boundary(d, c))
+				}
+				if c < top && v >= g.boundary(d, c+1) {
+					t.Fatalf("bits=%d item %d dim %d: %v at or above cell %d upper edge %v", bits, i, d, v, c, g.boundary(d, c+1))
+				}
+			}
+		}
+	}
+}
+
+// TestQuantFilterSound is the soundness property of the code-level filter:
+// whenever Exceeds reports true, the exact distance must be strictly
+// greater than the limit — for every supported metric, including values
+// outside the grid (clamped into the open-ended edge cells).
+func TestQuantFilterSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	dim := 5
+	mink, _ := NewMinkowski(3)
+	w := make(Vector, dim)
+	for i := range w {
+		w[i] = 0.25 + float64(i)
+	}
+	wgt, _ := NewWeightedEuclidean(w)
+	metrics := []Metric{Euclidean{}, Manhattan{}, Chebyshev{}, mink, wgt}
+	b := testBlock(t, rng, dim, 150)
+	lo, hi := blockBounds(b)
+	g, err := BuildQuantGrid(6, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DeriveCodes(g)
+	// Extra probes outside the grid bounds exercise edge-cell clamping.
+	outside := make(Vector, dim)
+	for d := range outside {
+		outside[d] = hi[d] + 1 + rng.Float64()
+	}
+	outsideCodes := make([]uint8, dim)
+	g.EncodeInto(outside, outsideCodes)
+	for _, metric := range metrics {
+		for trial := 0; trial < 40; trial++ {
+			q := make(Vector, dim)
+			for d := range q {
+				q[d] = rng.NormFloat64() * 1.5
+			}
+			f := NewQuantFilter(NewCounting(metric), g, q) // stripping Counting is part of the contract
+			if f == nil {
+				t.Fatalf("%s: expected a filter", metric.Name())
+			}
+			limit := rng.Float64() * 3
+			rejected, kept := 0, 0
+			for i := 0; i < b.N; i++ {
+				if f.Exceeds(b.ItemCodes(i), limit) {
+					rejected++
+					if d := metric.Distance(q, b.Item(i)); d <= limit {
+						t.Fatalf("%s: filter rejected item %d with d=%v <= limit=%v", metric.Name(), i, d, limit)
+					}
+				} else {
+					kept++
+				}
+			}
+			if f.Exceeds(outsideCodes, limit) {
+				if d := metric.Distance(q, outside); d <= limit {
+					t.Fatalf("%s: filter rejected out-of-grid probe with d <= limit", metric.Name())
+				}
+			}
+			_ = rejected
+			_ = kept
+		}
+	}
+	// Unsupported metric: no filter, and a nil filter rejects nothing.
+	ident := make([]float64, dim*dim)
+	for i := 0; i < dim; i++ {
+		ident[i*dim+i] = 1
+	}
+	qf, err := NewQuadraticForm(dim, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := NewQuantFilter(qf, g, make(Vector, dim)); f != nil {
+		t.Fatal("quadratic form should have no quantized filter")
+	}
+	var nilFilter *QuantFilter
+	if nilFilter.Exceeds(outsideCodes, 0) {
+		t.Fatal("nil filter must reject nothing")
+	}
+}
+
+// TestQuantFilterSelective sanity-checks that the filter actually rejects
+// something under tight limits (it is a perf feature, not just a sound
+// no-op).
+func TestQuantFilterSelective(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	dim := 8
+	b := testBlock(t, rng, dim, 300)
+	lo, hi := blockBounds(b)
+	g, err := BuildQuantGrid(8, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DeriveCodes(g)
+	q := make(Vector, dim)
+	for d := range q {
+		q[d] = rng.NormFloat64()
+	}
+	f := NewQuantFilter(Euclidean{}, g, q)
+	limit := 0.5 // tight for N(0,1) data at dim 8: most items are far outside
+	rejected := 0
+	for i := 0; i < b.N; i++ {
+		if f.Exceeds(b.ItemCodes(i), limit) {
+			rejected++
+		}
+	}
+	if rejected < b.N/2 {
+		t.Fatalf("filter rejected only %d/%d items at limit %v", rejected, b.N, limit)
+	}
+}
+
+// TestBlockDegenerateDim covers a zero-width dimension (all values equal):
+// encoding stays in-range and filtering stays sound.
+func TestBlockDegenerateDim(t *testing.T) {
+	dim, n := 3, 10
+	b := NewBlock(dim, n)
+	for i := 0; i < n; i++ {
+		b.SetItem(i, Vector{float64(i), 7, -float64(i)})
+	}
+	lo, hi := blockBounds(b)
+	g, err := BuildQuantGrid(4, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DeriveCodes(g)
+	q := Vector{0, 100, 0}
+	f := NewQuantFilter(Manhattan{}, g, q)
+	for i := 0; i < n; i++ {
+		if f.Exceeds(b.ItemCodes(i), 1000) {
+			t.Fatal("filter rejected item within a huge limit")
+		}
+		if !f.Exceeds(b.ItemCodes(i), 1) {
+			t.Fatalf("item %d: |q1-7|=93 alone should exceed limit 1", i)
+		}
+		if d := (Manhattan{}).Distance(q, b.Item(i)); d <= 1 {
+			t.Fatal("test premise broken")
+		}
+	}
+}

@@ -30,6 +30,13 @@ import (
 // decision by applying the same finalization to the partial sum, so
 // monotonicity of the finalizer carries the strict inequality through to
 // the full-evaluation result.
+//
+// Each kernel body lives in a package-level function (euclideanWithin and
+// friends) shared verbatim by the exported method and the blocked row
+// kernels in block.go: one body means the scalar per-pair path and the
+// columnar page path cannot drift apart, which is what makes the SoA
+// layout's bit-identity guarantee a structural property rather than a
+// test-enforced one.
 type BoundedMetric interface {
 	Metric
 	// DistanceWithin reports whether dist(a, b) <= limit, abandoning the
@@ -57,6 +64,11 @@ func DistanceWithin(m Metric, a, b Vector, limit float64) (float64, bool) {
 // path confirms sqrt(partial) > limit before giving up, so boundary cases
 // where s barely exceeds limit² but sqrt(s) still rounds to limit are
 // never misclassified (math.Sqrt is correctly rounded, hence monotone).
+func (Euclidean) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
+	return euclideanWithin(a, b, limit)
+}
+
+// euclideanWithin is the shared Euclidean kernel body.
 //
 // The check cadence is two-phase: every 4 elements for the first 16 —
 // low-dimensional vectors and far pairs abandon at the earliest possible
@@ -67,7 +79,7 @@ func DistanceWithin(m Metric, a, b Vector, limit float64) (float64, bool) {
 // quarter while giving up at most 12 extra elements of saving. The
 // accumulation order is identical in all phases, so the within=true
 // result stays bit-equal to Distance.
-func (Euclidean) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
+func euclideanWithin(a, b Vector, limit float64) (float64, bool) {
 	mustSameDim(a, b)
 	lim2 := limit * limit
 	var s float64
@@ -160,6 +172,11 @@ func (Euclidean) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
 // monotonicity of non-negative accumulation makes the abandon decision
 // exact without any confirmation step.
 func (Manhattan) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
+	return manhattanWithin(a, b, limit)
+}
+
+// manhattanWithin is the shared L1 kernel body.
+func manhattanWithin(a, b Vector, limit float64) (float64, bool) {
 	mustSameDim(a, b)
 	var s float64
 	n := len(a)
@@ -182,6 +199,11 @@ func (Manhattan) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
 // DistanceWithin is the early-abandoning L∞ kernel: the running maximum is
 // the distance so far, so it compares directly against limit.
 func (Chebyshev) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
+	return chebyshevWithin(a, b, limit)
+}
+
+// chebyshevWithin is the shared L∞ kernel body.
+func chebyshevWithin(a, b Vector, limit float64) (float64, bool) {
 	mustSameDim(a, b)
 	var m float64
 	n := len(a)
@@ -219,10 +241,15 @@ func (Chebyshev) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
 func (m Minkowski) DistanceWithin(a, b Vector, limit float64) (float64, bool) {
 	switch m.p {
 	case 1:
-		return Manhattan{}.DistanceWithin(a, b, limit)
+		return manhattanWithin(a, b, limit)
 	case 2:
-		return Euclidean{}.DistanceWithin(a, b, limit)
+		return euclideanWithin(a, b, limit)
 	}
+	return minkowskiWithin(m, a, b, limit)
+}
+
+// minkowskiWithin is the shared general-order Lp kernel body (p ∉ {1, 2}).
+func minkowskiWithin(m Minkowski, a, b Vector, limit float64) (float64, bool) {
 	mustSameDim(a, b)
 	limP := math.Pow(limit, m.p)
 	var s float64
@@ -253,7 +280,12 @@ func (m *WeightedEuclidean) DistanceWithin(a, b Vector, limit float64) (float64,
 	if len(a) != len(m.weights) {
 		panic(fmt.Sprintf("vec: weighted Euclidean configured for dim %d, got %d", len(m.weights), len(a)))
 	}
-	w := m.weights
+	return weightedEuclideanWithin(m.weights, a, b, limit)
+}
+
+// weightedEuclideanWithin is the shared weighted-L2 kernel body; w must
+// already be validated against the vector dimensionality.
+func weightedEuclideanWithin(w []float64, a, b Vector, limit float64) (float64, bool) {
 	lim2 := limit * limit
 	var s float64
 	n := len(a)

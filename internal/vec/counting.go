@@ -78,10 +78,17 @@ func (c *Counting) Kernel() BoundedMetric {
 // AddCalls credits a batch of bounded evaluations performed directly on the
 // Kernel(): calcs distance calculations, abandoned of which were resolved
 // by their limit. The split counters preserve the invariant
-// Abandoned() <= Count() exactly as per-call counting would.
+// Abandoned() <= Count() exactly as per-call counting would. Zero deltas
+// skip their atomic entirely, so a block with nothing abandoned — the
+// common case for the no-limit fast paths — settles in a single contended
+// add per page pass.
 func (c *Counting) AddCalls(calcs, abandoned int64) {
-	c.n.Add(calcs)
-	c.abandon.Add(abandoned)
+	if calcs != 0 {
+		c.n.Add(calcs)
+	}
+	if abandoned != 0 {
+		c.abandon.Add(abandoned)
+	}
 }
 
 // fullKernel adapts a metric without a native bounded kernel to the

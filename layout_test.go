@@ -1,0 +1,189 @@
+package metricdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"metricdb/internal/dataset"
+)
+
+func layoutBatch(dim int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	point := func() Vector {
+		v := make(Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		return v
+	}
+	return []Query{
+		{ID: 0, Vec: point(), Type: RangeQuery(0.5)},
+		{ID: 1, Vec: point(), Type: KNNQuery(9)},
+		{ID: 2, Vec: point(), Type: BoundedKNNQuery(4, 0.7)},
+		{ID: 3, Vec: point(), Type: KNNQuery(3)},
+	}
+}
+
+func compareLayoutAnswers(t *testing.T, label string, want, got [][]Answer, tol float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d answer lists", label, len(want), len(got))
+	}
+	for q := range want {
+		if len(want[q]) != len(got[q]) {
+			t.Fatalf("%s: query %d: %d vs %d answers", label, q, len(want[q]), len(got[q]))
+		}
+		for i := range want[q] {
+			a, b := want[q][i], got[q][i]
+			if a.ID != b.ID {
+				t.Fatalf("%s: query %d answer %d: id %d vs %d", label, q, i, a.ID, b.ID)
+			}
+			if tol == 0 {
+				if math.Float64bits(a.Dist) != math.Float64bits(b.Dist) {
+					t.Fatalf("%s: query %d answer %d: dist %v vs %v", label, q, i, a.Dist, b.Dist)
+				}
+			} else if math.Abs(a.Dist-b.Dist) > tol {
+				t.Fatalf("%s: query %d answer %d: |Δdist| %g exceeds %g", label, q, i, math.Abs(a.Dist-b.Dist), tol)
+			}
+		}
+	}
+}
+
+// TestOpenLayouts: for every engine, each layout must answer like the
+// default AoS database — bit-identically for soa and quant, and within
+// the float32 rounding bound for f32 (whose rows engage only on
+// avoidance-free pages, so run with AvoidOff to actually exercise them).
+func TestOpenLayouts(t *testing.T) {
+	const dim, n, capacity = 4, 260, 16
+	items := testItems(91, n, dim)
+	batch := layoutBatch(dim, 92)
+
+	for _, kind := range []EngineKind{EngineScan, EngineXTree, EngineVAFile} {
+		base := Options{Engine: kind, PageCapacity: capacity, BufferPages: 4, Avoidance: AvoidOff}
+		aosDB, err := Open(items, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aosAns, aosStats, err := aosDB.NewBatch().QueryAll(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, layout := range []string{"soa", "f32", "quant"} {
+			t.Run(fmt.Sprintf("%s/%s", kind, layout), func(t *testing.T) {
+				opts := base
+				opts.Layout = layout
+				db, err := Open(items, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := db.ProcessorStats().Layout; got != layout {
+					t.Errorf("ProcessorStats().Layout = %q, want %q", got, layout)
+				}
+				ans, stats, err := db.NewBatch().QueryAll(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tol := 0.0
+				if layout == "f32" {
+					tol = 1e-5
+				}
+				compareLayoutAnswers(t, layout, aosAns, ans, tol)
+				if stats.PagesRead != aosStats.PagesRead {
+					t.Errorf("PagesRead = %d, aos %d", stats.PagesRead, aosStats.PagesRead)
+				}
+				if layout == "soa" && stats != aosStats {
+					t.Errorf("soa stats differ:\n  aos: %+v\n  soa: %+v", aosStats, stats)
+				}
+			})
+		}
+	}
+}
+
+// TestOpenStoredLayouts covers both persistence directions: a version-2
+// dataset whose pages already carry the siblings must serve every layout
+// directly, and a plain version-1 dataset must serve them anyway by
+// columnizing pages on read (the WrapColumns path). Answers always match
+// the in-memory AoS database.
+func TestOpenStoredLayouts(t *testing.T) {
+	const dim, n, capacity = 4, 260, 16
+	items := testItems(93, n, dim)
+	batch := layoutBatch(dim, 94)
+
+	aosDB, err := Open(items, Options{PageCapacity: capacity, BufferPages: 4, Avoidance: AvoidOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aosAns, _, err := aosDB.NewBatch().QueryAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := t.TempDir()
+	if err := dataset.SaveDir(v1, items, dataset.SaveOptions{PageCapacity: capacity, NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := t.TempDir()
+	if err := dataset.SaveDir(v2, items, dataset.SaveOptions{
+		PageCapacity: capacity, NoSync: true, Columnar: true, F32: true, QuantBits: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dir := range []struct{ name, path string }{{"v1", v1}, {"v2", v2}} {
+		for _, kind := range []EngineKind{EngineScan, EngineXTree, EngineVAFile} {
+			for _, layout := range []string{"aos", "soa", "f32", "quant"} {
+				t.Run(fmt.Sprintf("%s/%s/%s", dir.name, kind, layout), func(t *testing.T) {
+					db, err := OpenStored(dir.path, Options{
+						Engine: kind, PageCapacity: capacity, BufferPages: 4,
+						Avoidance: AvoidOff, Layout: layout,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer db.Close() //nolint:errcheck
+					if _, ok := db.Stored(); !ok {
+						t.Error("stored DB does not report persistent storage")
+					}
+					ans, _, err := db.NewBatch().QueryAll(batch)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tol := 0.0
+					if layout == "f32" {
+						tol = 1e-5
+					}
+					compareLayoutAnswers(t, layout, aosAns, ans, tol)
+				})
+			}
+		}
+	}
+}
+
+// TestLayoutOptionValidation: the layout knobs reject mistakes before any
+// data is touched.
+func TestLayoutOptionValidation(t *testing.T) {
+	if err := (Options{Layout: "columnar"}).Validate(); err == nil {
+		t.Error("unknown layout accepted")
+	}
+	if err := (Options{QuantBits: 4}).Validate(); err == nil {
+		t.Error("QuantBits without quant layout accepted")
+	}
+	if err := (Options{Layout: "quant", QuantBits: 9}).Validate(); err == nil {
+		t.Error("out-of-range QuantBits accepted")
+	}
+	if err := (Options{Layout: "quant", QuantBits: 4}).Validate(); err != nil {
+		t.Errorf("valid quant options rejected: %v", err)
+	}
+	if err := (Options{Layout: "soa"}).Validate(); err != nil {
+		t.Errorf("soa layout rejected: %v", err)
+	}
+	mink, err := Minkowski(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(testItems(95, 40, 3), Options{Layout: "f32", Metric: mink}); err == nil {
+		t.Error("f32 layout with a Minkowski metric accepted; no float32 kernel exists")
+	}
+}

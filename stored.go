@@ -71,6 +71,26 @@ func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages
 		return nil, fmt.Errorf("metricdb: %w", err)
 	}
 	man := fd.Manifest()
+	// Serve pages through a columnizing wrapper when the layout wants
+	// sibling representations the stored format does not carry: a
+	// version-1 dataset (or one written without the f32/quant sections)
+	// then materializes them per page on first read, with the buffer
+	// caching the columnized page. Datasets that already store the
+	// siblings decode them directly and skip the wrapper. A stored
+	// quantization grid wins over a freshly derived one so the on-page
+	// codes and the filter agree.
+	columns, err := opts.columnSpec(items, dim)
+	if err != nil {
+		fd.Close() //nolint:errcheck
+		return nil, err
+	}
+	if man.Quant != nil {
+		columns.Quant = nil
+	}
+	var src store.PageSource = fd
+	if (columns.Columnar && !man.Columnar) || (columns.F32 && !man.F32) || columns.Quant != nil {
+		src = store.WrapColumns(fd, columns)
+	}
 	var buf *store.Buffer
 	if bufferPages > 0 {
 		if buf, err = store.NewBuffer(bufferPages); err != nil {
@@ -78,7 +98,7 @@ func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages
 			return nil, fmt.Errorf("metricdb: %w", err)
 		}
 	}
-	pager, err := store.NewPager(fd, buf)
+	pager, err := store.NewPager(src, buf)
 	if err != nil {
 		fd.Close() //nolint:errcheck
 		return nil, fmt.Errorf("metricdb: %w", err)
@@ -95,7 +115,12 @@ func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages
 	// The stored layout dictates the page capacity; reflect it in the
 	// options so DB introspection reports the truth.
 	opts.PageCapacity = man.PageCapacity
-	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency})
+	layout, err := parseLayout(opts.Layout)
+	if err != nil {
+		fd.Close() //nolint:errcheck
+		return nil, err
+	}
+	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency, Layout: layout})
 	if err != nil {
 		fd.Close() //nolint:errcheck
 		return nil, err
@@ -107,7 +132,15 @@ func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages
 // persists the engine's page layout next to the dataset, serving data
 // pages from the file system through the engine's WrapDisk hook.
 func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPages int) (*DB, error) {
-	layout := filepath.Join(dir, "layout-"+string(opts.Engine))
+	layoutDir := filepath.Join(dir, "layout-"+string(opts.Engine))
+	columns, err := opts.columnSpec(items, dim)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := parseLayout(opts.Layout)
+	if err != nil {
+		return nil, err
+	}
 	var fd *store.FileDisk
 	wrap := func(src store.PageSource) (store.PageSource, error) {
 		pages := make([]*store.Page, src.NumPages())
@@ -122,22 +155,27 @@ func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPa
 				capacity = len(p.Items)
 			}
 		}
+		// The engine columnized its pages before building the disk, so
+		// the blocks ride along into the persisted layout: the meta
+		// fields make the written records carry them, and the reopened
+		// FileDisk decodes them back.
 		meta := store.DatasetMeta{Dim: dim, PageCapacity: capacity,
+			Columnar: columns.Columnar, F32: columns.F32,
 			Attrs: map[string]string{"layout": string(opts.Engine)}}
-		if err := store.WriteDataset(layout, pages, meta, store.WriteOptions{}); err != nil {
+		if columns.Quant != nil {
+			meta.QuantBits = columns.Quant.Bits
+		}
+		if err := store.WriteDataset(layoutDir, pages, meta, store.WriteOptions{}); err != nil {
 			return nil, err
 		}
 		var err error
-		if fd, err = store.OpenFileDisk(layout, store.FileDiskOptions{Mmap: opts.Mmap}); err != nil {
+		if fd, err = store.OpenFileDisk(layoutDir, store.FileDiskOptions{Mmap: opts.Mmap}); err != nil {
 			return nil, err
 		}
 		return fd, nil
 	}
 
-	var (
-		eng engine.Engine
-		err error
-	)
+	var eng engine.Engine
 	switch opts.Engine {
 	case EngineXTree:
 		cfg := xtree.DefaultConfig(dim)
@@ -145,6 +183,7 @@ func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPa
 		cfg.BufferPages = bufferPages
 		cfg.Metric = opts.Metric
 		cfg.WrapDisk = wrap
+		cfg.Columns = columns
 		if x := opts.XTree; x != nil {
 			if x.DirFanout != 0 {
 				cfg.DirFanout = x.DirFanout
@@ -165,6 +204,7 @@ func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPa
 			BufferPages:  bufferPages,
 			Metric:       opts.Metric,
 			WrapDisk:     wrap,
+			Columns:      columns,
 		})
 	}
 	if err != nil {
@@ -173,7 +213,7 @@ func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPa
 		}
 		return nil, err
 	}
-	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency})
+	proc, err := msq.New(eng, opts.Metric, msq.Options{Avoidance: opts.Avoidance, Concurrency: opts.Concurrency, Layout: layout})
 	if err != nil {
 		if fd != nil {
 			fd.Close() //nolint:errcheck
@@ -203,7 +243,7 @@ func (db *DB) Close() error {
 // Stored reports whether the database serves its data pages from
 // persistent storage, and if so in which mode ("pread" or "mmap").
 func (db *DB) Stored() (mode string, ok bool) {
-	if fd, isFile := db.eng.Pager().Disk().(*store.FileDisk); isFile {
+	if fd, isFile := store.UnwrapSource(db.eng.Pager().Disk()).(*store.FileDisk); isFile {
 		return fd.Mode(), true
 	}
 	return "", false
@@ -213,7 +253,7 @@ func (db *DB) Stored() (mode string, ok bool) {
 // file-backed disk (preads issued, bytes read, checksum failures). ok is
 // false for in-memory databases.
 func (db *DB) StorageStats() (stats store.StorageStats, ok bool) {
-	if fd, isFile := db.eng.Pager().Disk().(*store.FileDisk); isFile {
+	if fd, isFile := store.UnwrapSource(db.eng.Pager().Disk()).(*store.FileDisk); isFile {
 		return fd.Storage(), true
 	}
 	return store.StorageStats{}, false
