@@ -39,6 +39,7 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzPageDecode -fuzztime=30s ./internal/store/
 	go test -run='^$$' -fuzz=FuzzManifestDecode -fuzztime=30s ./internal/store/
 	go test -run='^$$' -fuzz=FuzzColumnarPageDecode -fuzztime=30s ./internal/store/
+	go test -run='^$$' -fuzz=FuzzTableDecode -fuzztime=30s ./internal/pivot/
 
 # The observability overhead gate: with no tracer installed, the hooked
 # page loop must run within 2% of the bare loop. Timing-sensitive, so it
@@ -62,6 +63,7 @@ bench:
 	go run ./cmd/msqbench -experiment load
 	go run ./cmd/msqbench -experiment storage
 	go run ./cmd/msqbench -experiment block
+	go run ./cmd/msqbench -experiment engines
 
 # Every benchmark in the repository, including the paper-figure suites.
 bench-all:
@@ -86,6 +88,7 @@ bench-compare:
 	go run ./cmd/msqbench -experiment load -load-out .bench-fresh/BENCH_load.json > /dev/null
 	go run ./cmd/msqbench -experiment storage -storage-out .bench-fresh/BENCH_storage.json > /dev/null
 	go run ./cmd/msqbench -experiment block -block-out .bench-fresh/BENCH_block.json > /dev/null
+	go run ./cmd/msqbench -experiment engines -engines-out .bench-fresh/BENCH_engines.json > /dev/null
 	go run ./cmd/benchcompare -tolerance 0.10 -speedup-tolerance 0.50 \
 		BENCH_kernels.json .bench-fresh/BENCH_kernels.json \
 		BENCH_parallel_intra.json .bench-fresh/BENCH_parallel_intra.json \
@@ -93,4 +96,5 @@ bench-compare:
 		BENCH_distobs.json .bench-fresh/BENCH_distobs.json \
 		BENCH_load.json .bench-fresh/BENCH_load.json \
 		BENCH_storage.json .bench-fresh/BENCH_storage.json \
-		BENCH_block.json .bench-fresh/BENCH_block.json
+		BENCH_block.json .bench-fresh/BENCH_block.json \
+		BENCH_engines.json .bench-fresh/BENCH_engines.json

@@ -3,21 +3,37 @@ package metricdb
 import (
 	"fmt"
 
+	"metricdb/internal/cost"
 	"metricdb/internal/dataset"
+	"metricdb/internal/query"
 )
 
-// Advice is the result of analyzing a dataset for physical design.
+// Candidate is one engine's predicted cost for a concrete batch: counted
+// work (pages, distance calculations) and its priced I/O/CPU split.
+type Candidate = cost.EngineEstimate
+
+// Advice is the result of analyzing a dataset — and optionally a batch —
+// for physical design.
 type Advice struct {
 	// IntrinsicDim is the estimated intrinsic dimensionality of the data
 	// (Levina–Bickel MLE); real feature data usually has a much lower
 	// intrinsic than ambient dimension.
-	IntrinsicDim float64
+	IntrinsicDim float64 `json:"intrinsic_dim"`
 	// AmbientDim is the stored vector dimensionality.
-	AmbientDim int
+	AmbientDim int `json:"ambient_dim"`
 	// Engine is the recommended physical organization.
-	Engine EngineKind
+	Engine EngineKind `json:"engine"`
 	// Reason explains the recommendation in one sentence.
-	Reason string
+	Reason string `json:"reason"`
+	// Warning carries a non-fatal estimator failure (for example the
+	// intrinsic-dimension MLE degenerating on duplicated data). The
+	// recommendation then rests on a fallback; callers that log should
+	// surface it rather than drop it.
+	Warning string `json:"warning,omitempty"`
+	// Candidates holds every engine's predicted batch cost, cheapest
+	// first, when the advice was computed for a concrete batch
+	// (AdviseBatch); nil for dataset-only advice.
+	Candidates []Candidate `json:"candidates,omitempty"`
 }
 
 // Advise estimates the dataset's intrinsic dimensionality and recommends a
@@ -27,7 +43,9 @@ type Advice struct {
 // especially under multiple similarity queries, which favor scans further.
 //
 // The estimate uses a seeded sample, so Advise is deterministic and cheap
-// (independent of the database size beyond a bounded sample).
+// (independent of the database size beyond a bounded sample). When the
+// estimator fails (degenerate data), the advice falls back to the scan and
+// the failure is reported in Advice.Warning.
 func Advise(items []Item, seed int64) (Advice, error) {
 	if _, err := validateItems(items); err != nil {
 		return Advice{}, err
@@ -38,7 +56,8 @@ func Advise(items []Item, seed int64) (Advice, error) {
 		// Degenerate data (e.g. massive duplication): nothing for an
 		// index to exploit.
 		a.Engine = EngineScan
-		a.Reason = fmt.Sprintf("intrinsic dimensionality undefined (%v); sequential scan is the robust choice", err)
+		a.Reason = "intrinsic dimensionality undefined; sequential scan is the robust choice"
+		a.Warning = fmt.Sprintf("intrinsic-dimension estimate failed: %v", err)
 		return a, nil
 	}
 	a.IntrinsicDim = est
@@ -54,4 +73,133 @@ func Advise(items []Item, seed int64) (Advice, error) {
 		a.Reason = fmt.Sprintf("estimated intrinsic dimensionality %.1f leaves no index selectivity; sequential scan with multiple similarity queries wins", est)
 	}
 	return a, nil
+}
+
+// advisorSampleItems bounds the distance sampling AdviseBatch performs to
+// measure range-query selectivity.
+const advisorSampleItems = 256
+
+// AdviseBatch recommends an engine for a concrete batch: the dataset's
+// intrinsic dimensionality AND the batch's shape (how many queries, their
+// cardinalities and radii, the metric) are priced through the cost model of
+// internal/cost, and every registered engine's predicted cost is returned
+// in Advice.Candidates, cheapest first. This is the per-batch counterpart
+// of Advise: a dataset whose intrinsics favor a tree can still be served
+// cheaper by the scan when the batch is large (the shared sweep amortizes
+// m-fold), and by the pivot table in between.
+//
+// The prediction uses the paper-testbed cost constants at the dataset's
+// dimensionality, a seeded bounded sample for measurements, and no
+// randomness — the same inputs always produce the same advice.
+func AdviseBatch(items []Item, queries []Query, opts Options, seed int64) (Advice, error) {
+	dim, err := validateItems(items)
+	if err != nil {
+		return Advice{}, err
+	}
+	if len(queries) == 0 {
+		return Advice{}, fmt.Errorf("metricdb: empty batch")
+	}
+	for i := range queries {
+		if err := queries[i].Type.Validate(); err != nil {
+			return Advice{}, fmt.Errorf("metricdb: batch query %d: %w", i, err)
+		}
+	}
+	if err := opts.Validate(); err != nil {
+		return Advice{}, err
+	}
+	opts, _ = opts.withDefaults(dim, len(items))
+
+	a := Advice{AmbientDim: dim}
+	intrinsic, err := dataset.EstimateIntrinsicDimension(items, 100, 10, seed)
+	if err != nil {
+		// Price with the ambient dimension and say so: degenerate data
+		// usually means the scan wins anyway, and the caller deserves to
+		// know the estimate is a fallback.
+		a.Warning = fmt.Sprintf("intrinsic-dimension estimate failed: %v; pricing with ambient dimension %d", err, dim)
+		intrinsic = float64(dim)
+	}
+	a.IntrinsicDim = intrinsic
+
+	shape := cost.BatchShape{
+		Queries:      len(queries),
+		Items:        len(items),
+		PageCapacity: opts.PageCapacity,
+		IntrinsicDim: intrinsic,
+		MeanK:        batchMeanK(queries, len(items)),
+		Selectivity:  batchRangeSelectivity(items, queries, opts.Metric),
+	}
+	if opts.Pivot != nil {
+		shape.Pivots = opts.Pivot.Pivots
+	}
+	cands, err := cost.PaperModel(dim).EstimateBatch(shape)
+	if err != nil {
+		return Advice{}, fmt.Errorf("metricdb: %w", err)
+	}
+	a.Candidates = cands
+	a.Engine = EngineKind(cands[0].Engine)
+	a.Reason = fmt.Sprintf("cheapest predicted cost for %d queries at intrinsic dimensionality %.1f (%v vs %v runner-up)",
+		len(queries), intrinsic, cands[0].Total, cands[1].Total)
+	return a, nil
+}
+
+// AdviseBatch prices this database's own items, metric, and page capacity
+// against the batch. See the package-level AdviseBatch.
+func (db *DB) AdviseBatch(queries []Query, seed int64) (Advice, error) {
+	return AdviseBatch(db.items, queries, db.opts, seed)
+}
+
+// batchMeanK returns the mean answer cardinality of the batch's bounded
+// queries, defaulting to 1 when the batch is all range queries (their
+// cardinality is unbounded; selectivity sampling covers them instead).
+func batchMeanK(queries []Query, n int) float64 {
+	var sum, cnt float64
+	for i := range queries {
+		t := queries[i].Type
+		if t.Bounded() && t.Cardinality > 0 {
+			k := t.Cardinality
+			if k > n {
+				k = n
+			}
+			sum += float64(k)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / cnt
+}
+
+// batchRangeSelectivity measures the mean fraction of items a range query
+// captures, from real distances on a bounded deterministic sample (every
+// stride-th item, every query). It returns 0 — "not measured, use the
+// model" — when the batch has no pure range queries.
+func batchRangeSelectivity(items []Item, queries []Query, metric Metric) float64 {
+	stride := (len(items) + advisorSampleItems - 1) / advisorSampleItems
+	if stride < 1 {
+		stride = 1
+	}
+	var sum float64
+	var ranges int
+	for qi := range queries {
+		t := queries[qi].Type
+		if t.Kind != query.Range {
+			continue
+		}
+		ranges++
+		within, sampled := 0, 0
+		for i := 0; i < len(items); i += stride {
+			sampled++
+			if metric.Distance(queries[qi].Vec, items[i].Vec) <= t.Range {
+				within++
+			}
+		}
+		if sampled > 0 {
+			sum += float64(within) / float64(sampled)
+		}
+	}
+	if ranges == 0 {
+		return 0
+	}
+	return sum / float64(ranges)
 }

@@ -3,6 +3,7 @@ package metricdb
 import (
 	"fmt"
 
+	"metricdb/internal/engines"
 	"metricdb/internal/msq"
 	"metricdb/internal/parallel"
 	"metricdb/internal/store"
@@ -67,15 +68,8 @@ func OpenCluster(items []Item, opts ClusterOptions) (*ClusterDB, error) {
 	if opts.PageCapacity == 0 {
 		opts.PageCapacity = store.PageCapacityForBlockSize(32768, dim)
 	}
-	kind := parallel.ScanEngine
-	switch opts.Engine {
-	case EngineScan, "":
-	case EngineXTree:
-		kind = parallel.XTreeEngine
-	case EngineVAFile:
-		kind = parallel.VAFileEngine
-	default:
-		return nil, fmt.Errorf("metricdb: unknown engine %q", opts.Engine)
+	if opts.Engine != "" && !engines.Known(engines.Kind(opts.Engine)) {
+		return nil, fmt.Errorf("metricdb: unknown engine %q (have %v)", opts.Engine, engines.Kinds())
 	}
 	bufferPages := opts.BufferPages
 	switch {
@@ -88,7 +82,7 @@ func OpenCluster(items []Item, opts ClusterOptions) (*ClusterDB, error) {
 		Servers:      opts.Servers,
 		Strategy:     opts.Strategy,
 		Seed:         opts.Seed,
-		Engine:       kind,
+		Engine:       engines.Kind(opts.Engine),
 		Dim:          dim,
 		PageCapacity: opts.PageCapacity,
 		BufferPages:  bufferPages,

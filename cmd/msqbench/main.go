@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|block|obs|distobs|load|storage]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|block|obs|distobs|load|storage|engines]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
 //	         [-kernels-out BENCH_kernels.json]
@@ -13,6 +13,7 @@
 //	         [-distobs-out BENCH_distobs.json]
 //	         [-load-out BENCH_load.json]
 //	         [-storage-out BENCH_storage.json]
+//	         [-engines-out BENCH_engines.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
@@ -71,6 +72,13 @@
 // answers, statistics and I/O counters bit-identical to the simulated
 // reference, and writes the results to -storage-out as JSON.
 //
+// The engines experiment compares every physical organization the engine
+// registry can build (scan, xtree, vafile, pivot, pmtree) on one k-NN
+// batch across dimensionality × batch width, re-checking that each engine
+// answered bit-identically to the sequential scan at pipeline widths 1 and
+// 8, and writes the deterministic work counters (distance calculations,
+// pages read, pivot setup distances) to -engines-out as JSON.
+//
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
 package main
@@ -91,7 +99,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12, chaos, intra, kernels")
+		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12, chaos, intra, kernels, block, obs, distobs, load, storage, engines")
 		scaleName  = flag.String("scale", "small", "dataset scale: small, medium or paper")
 		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
 		measure    = flag.Bool("measure", false, "calibrate the cost model on this host instead of nominal 1999 constants")
@@ -102,15 +110,16 @@ func main() {
 		distObsOut = flag.String("distobs-out", "BENCH_distobs.json", "output file for the distobs experiment's JSON results")
 		loadOut    = flag.String("load-out", "BENCH_load.json", "output file for the load experiment's JSON results")
 		storageOut = flag.String("storage-out", "BENCH_storage.json", "output file for the storage experiment's JSON results")
+		enginesOut = flag.String("engines-out", "BENCH_engines.json", "output file for the engines experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *blockOut, *obsOut, *distObsOut, *loadOut, *storageOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *blockOut, *obsOut, *distObsOut, *loadOut, *storageOut, *enginesOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, blockOut, obsOut, distObsOut, loadOut, storageOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, blockOut, obsOut, distObsOut, loadOut, storageOut, enginesOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -125,7 +134,7 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
 		"intra": true, "kernels": true, "block": true, "obs": true, "distobs": true,
-		"load": true, "storage": true}
+		"load": true, "storage": true, "engines": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -190,6 +199,26 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", blockOut)
+	}
+
+	if want("engines") {
+		sweep, err := experiments.RunEngines([]int{4, 8, 16}, []int{1, 8, 32}, 4000)
+		if err != nil {
+			return err
+		}
+		for _, r := range sweep.Results {
+			if !r.Identical {
+				return fmt.Errorf("engines: %s at dim %d, m %d diverged from the scan reference",
+					r.Engine, r.Dim, r.M)
+			}
+		}
+		if err := emit(sweep.Figure()); err != nil {
+			return err
+		}
+		if err := experiments.WriteEnginesJSONFile(enginesOut, sweep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", enginesOut)
 	}
 
 	needSweep := want("fig7") || want("fig8") || want("fig9") || want("fig10")

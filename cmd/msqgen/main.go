@@ -10,6 +10,11 @@
 //	       [-format dir|gob] [-pagecap 0] [-n 100000] [-dim 20]
 //	       [-clusters 10] [-spread 0.05] [-intrinsic 8] [-histogram]
 //	       [-noise 0.0] [-seed 1] [-layout aos|soa|f32|quant] [-quantbits 8]
+//	       [-advise]
+//
+// -advise additionally runs the engine advisor on the generated items and
+// prints the recommendation; advisor warnings (estimator fallbacks) go to
+// stderr.
 //
 // -layout soa writes version-2 columnar page records (contiguous float64
 // blocks per page); f32 adds the float32 sibling; quant adds VA-file-style
@@ -24,6 +29,7 @@ import (
 	"os"
 	"strconv"
 
+	"metricdb"
 	"metricdb/internal/dataset"
 	"metricdb/internal/store"
 )
@@ -44,15 +50,16 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		layout    = flag.String("layout", "aos", "page representation for -format dir: aos, soa, f32 or quant")
 		quantbits = flag.Int("quantbits", 0, "bits per dimension for -layout quant (0 selects 8)")
+		advise    = flag.Bool("advise", false, "print an engine recommendation for the generated dataset")
 	)
 	flag.Parse()
-	if err := run(*out, *format, *pagecap, *kind, *n, *dim, *clusters, *spread, *intrinsic, *histogram, *noise, *seed, *layout, *quantbits); err != nil {
+	if err := run(*out, *format, *pagecap, *kind, *n, *dim, *clusters, *spread, *intrinsic, *histogram, *noise, *seed, *layout, *quantbits, *advise); err != nil {
 		fmt.Fprintln(os.Stderr, "msqgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, format string, pagecap int, kind string, n, dim, clusters int, spread float64, intrinsic int, histogram bool, noise float64, seed int64, layout string, quantbits int) error {
+func run(out, format string, pagecap int, kind string, n, dim, clusters int, spread float64, intrinsic int, histogram bool, noise float64, seed int64, layout string, quantbits int, advise bool) error {
 	if out == "" {
 		return fmt.Errorf("-out is required")
 	}
@@ -112,5 +119,17 @@ func run(out, format string, pagecap int, kind string, n, dim, clusters int, spr
 		return err
 	}
 	fmt.Printf("wrote %d %d-d items (%s, %s format) to %s\n", len(items), dim, kind, format, out)
+	if advise {
+		a, err := metricdb.Advise(items, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("advice: engine=%s intrinsic_dim=%.1f — %s\n", a.Engine, a.IntrinsicDim, a.Reason)
+		// A warning means the recommendation rests on a fallback; it goes
+		// to stderr rather than being dropped.
+		if a.Warning != "" {
+			fmt.Fprintln(os.Stderr, "msqgen: advisor warning:", a.Warning)
+		}
+	}
 	return nil
 }

@@ -7,7 +7,7 @@
 //
 //	msqserver -addr :7707 [-data file.gob|dataset-dir] [-mmap]
 //	          [-n 20000] [-dim 16]
-//	          [-engine scan|xtree|vafile] [-layout aos|soa|f32|quant]
+//	          [-engine scan|xtree|vafile|pivot|pmtree] [-layout aos|soa|f32|quant]
 //	          [-concurrency 1]
 //	          [-max-conns 0] [-max-request-bytes 1048576]
 //	          [-read-timeout 0] [-write-timeout 10s] [-drain 5s]
@@ -46,13 +46,15 @@
 // -admin binds a second, HTTP, listener with the observability surface:
 // GET /metrics (Prometheus text: per-phase latency histograms, buffer and
 // disk gauges, wire counters), GET /debug/traces (recent phase spans as
-// JSONL), GET /debug/slow (the slow-query log, threshold -slow-query) and
-// /debug/pprof/*. When -admin is empty no tracer is installed and the
+// JSONL), GET /debug/slow (the slow-query log, threshold -slow-query),
+// GET /debug/advise (per-batch engine advice: ?m=8&k=10[&range=r][&seed=1])
+// and /debug/pprof/*. When -admin is empty no tracer is installed and the
 // query path runs with observability hooks disabled (the near-zero
 // overhead configuration).
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -78,7 +81,7 @@ func main() {
 		mmap     = flag.Bool("mmap", false, "memory-map the page file of a -data dataset directory")
 		n        = flag.Int("n", 20000, "generated dataset size")
 		dim      = flag.Int("dim", 16, "generated dataset dimensionality")
-		engine   = flag.String("engine", "xtree", "physical organization: scan, xtree or vafile")
+		engine   = flag.String("engine", "xtree", "physical organization: scan, xtree, vafile, pivot or pmtree")
 		layout   = flag.String("layout", "", "page layout: aos (default), soa, f32 or quant — soa/f32/quant run the blocked row kernels")
 		width    = flag.Int("concurrency", 1, "intra-server pipeline width per query batch (1 = sequential)")
 
@@ -261,13 +264,83 @@ func serve(addr string, src dataSource, engine string, cfg wire.ServerConfig, ad
 		reg := newRegistry(tracer, db, srv, engine)
 		admin = &adminListener{
 			srv: &http.Server{
-				Handler:           obs.AdminHandler(reg, obs.Endpoint{Pattern: "/debug/explain", Handler: srv.ExplainHandler()}),
+				Handler: obs.AdminHandler(reg,
+					obs.Endpoint{Pattern: "/debug/explain", Handler: srv.ExplainHandler()},
+					obs.Endpoint{Pattern: "/debug/advise", Handler: adviseHandler(db)},
+				),
 				ReadHeaderTimeout: 5 * time.Second,
 			},
 			lis: alis,
 		}
 	}
 	return db, srv, lis, admin, nil
+}
+
+// adviseHandler serves GET /debug/advise: it prices every engine for a
+// synthetic batch shaped by the query parameters (m = batch width, k = kNN
+// cardinality, range = radius turning the batch into range queries, seed)
+// against the live dataset, and returns the per-batch Advice as JSON —
+// recommended engine, reason, intrinsic dimensionality, and the predicted
+// cost of every candidate engine.
+func adviseHandler(db *metricdb.DB) http.HandlerFunc {
+	intParam := func(r *http.Request, name string, def int) (int, error) {
+		s := r.URL.Query().Get(name)
+		if s == "" {
+			return def, nil
+		}
+		return strconv.Atoi(s)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		m, err := intParam(r, "m", 8)
+		if err == nil && m < 1 {
+			err = fmt.Errorf("m must be >= 1")
+		}
+		k, kerr := intParam(r, "k", 10)
+		if err == nil {
+			err = kerr
+		}
+		if err == nil && k < 1 {
+			err = fmt.Errorf("k must be >= 1")
+		}
+		seed, serr := intParam(r, "seed", 1)
+		if err == nil {
+			err = serr
+		}
+		qt := metricdb.KNNQuery(k)
+		if s := r.URL.Query().Get("range"); err == nil && s != "" {
+			radius, perr := strconv.ParseFloat(s, 64)
+			if perr != nil || radius < 0 {
+				err = fmt.Errorf("bad range %q", s)
+			} else {
+				qt = metricdb.RangeQuery(radius)
+			}
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		// Query points are dataset items at a deterministic stride, so the
+		// batch is representative of the data and the advice reproducible.
+		items := db.Items()
+		stride := len(items) / m
+		if stride < 1 {
+			stride = 1
+		}
+		batch := make([]metricdb.Query, m)
+		for i := range batch {
+			batch[i] = metricdb.Query{ID: uint64(i), Vec: items[(i*stride)%len(items)].Vec, Type: qt}
+		}
+		advice, err := db.AdviseBatch(batch, int64(seed))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(advice) //nolint:errcheck // best effort on a live conn
+	}
 }
 
 // newRegistry registers gauges and counters over the live database, buffer

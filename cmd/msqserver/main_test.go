@@ -209,6 +209,32 @@ func TestAdminEndpoints(t *testing.T) {
 	if !strings.Contains(string(explain), `"pages_visited"`) {
 		t.Errorf("/debug/explain has no profile: %.200s", explain)
 	}
+
+	// /debug/advise prices a synthetic batch against the live dataset.
+	advise := get("/debug/advise?m=4&k=5")
+	var advice struct {
+		Engine       string           `json:"engine"`
+		Reason       string           `json:"reason"`
+		IntrinsicDim float64          `json:"intrinsic_dim"`
+		Candidates   []map[string]any `json:"candidates"`
+	}
+	if err := json.Unmarshal([]byte(advise), &advice); err != nil {
+		t.Fatalf("/debug/advise is not JSON: %v: %.200s", err, advise)
+	}
+	if advice.Engine == "" || advice.Reason == "" || advice.IntrinsicDim <= 0 {
+		t.Errorf("/debug/advise incomplete: %.300s", advise)
+	}
+	if len(advice.Candidates) != 5 {
+		t.Errorf("/debug/advise priced %d candidates, want 5", len(advice.Candidates))
+	}
+	if resp, err := http.Get("http://" + admin.lis.Addr().String() + "/debug/advise?m=0"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("/debug/advise?m=0: status %d, want 400", resp.StatusCode)
+		}
+	}
 }
 
 // TestServeStoredDataset serves a persistent dataset directory and checks

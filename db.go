@@ -6,15 +6,15 @@ import (
 	"io"
 
 	"metricdb/internal/engine"
+	"metricdb/internal/engines"
 	"metricdb/internal/msq"
-	"metricdb/internal/scan"
 	"metricdb/internal/store"
-	"metricdb/internal/vafile"
 	"metricdb/internal/vec"
-	"metricdb/internal/xtree"
 )
 
-// EngineKind selects the physical data organization.
+// EngineKind selects the physical data organization. The values mirror the
+// registry of internal/engines; Open, OpenStored, and OpenCluster all
+// construct engines through that registry.
 type EngineKind string
 
 // Supported engines.
@@ -22,15 +22,24 @@ const (
 	// EngineScan is the sequential scan: always applicable, sequential
 	// I/O only, and the maximal beneficiary of multiple similarity
 	// queries (the per-query I/O speed-up is exactly m).
-	EngineScan EngineKind = "scan"
+	EngineScan = EngineKind(engines.Scan)
 	// EngineXTree is the X-tree index: selective in low and moderate
 	// dimensions, with supernodes avoiding high-overlap directory splits.
-	EngineXTree EngineKind = "xtree"
+	EngineXTree = EngineKind(engines.XTree)
 	// EngineVAFile is the vector-approximation file: a scan over
 	// in-memory bit-quantized approximations that reads only the exact
 	// vectors its distance bounds cannot exclude — the refined scan the
 	// paper cites (Weber et al., VLDB 1998).
-	EngineVAFile EngineKind = "vafile"
+	EngineVAFile = EngineKind(engines.VAFile)
+	// EnginePivot is the LAESA-style pivot table: pivot-to-item distances
+	// precomputed at page granularity, so each query pays one distance
+	// per pivot and then prunes pages by the triangle inequality alone —
+	// applicable in any metric space, with no coordinate geometry.
+	EnginePivot = EngineKind(engines.Pivot)
+	// EnginePMTree is the PM-tree: a paged metric tree whose nodes carry
+	// both covering balls and pivot hyper-rings, pruning with whichever
+	// bound is tighter.
+	EnginePMTree = EngineKind(engines.PMTree)
 )
 
 // Options configures Open. The zero value selects a sequential scan with
@@ -61,6 +70,10 @@ type Options struct {
 	// VAFileBits is the bits-per-dimension of the VA-file engine
 	// (0 selects 6).
 	VAFileBits int
+	// Pivot overrides pivot-table parameters; nil uses defaults.
+	Pivot *PivotOptions
+	// PMTree overrides PM-tree parameters; nil uses defaults.
+	PMTree *PMTreeOptions
 	// Layout selects the page representation the distance loops consume:
 	// "" or "aos" evaluates item vectors one at a time (the original
 	// path); "soa" materializes contiguous float64 blocks per page and
@@ -100,6 +113,22 @@ type XTreeOptions struct {
 	ReinsertFraction float64
 }
 
+// PivotOptions exposes the pivot-table tuning knobs.
+type PivotOptions struct {
+	// Pivots is the number of reference objects (0: 16). More pivots
+	// tighten the page bounds at the cost of that many distance
+	// calculations per query.
+	Pivots int
+}
+
+// PMTreeOptions exposes the PM-tree tuning knobs.
+type PMTreeOptions struct {
+	// Pivots is the number of hyper-ring pivots (0: 8).
+	Pivots int
+	// Fanout is the directory fanout (0: 8; otherwise >= 2).
+	Fanout int
+}
+
 // Validate checks the options for structural mistakes without consulting a
 // database: an unknown engine kind, negative tuning knobs, or X-tree
 // parameters outside their domains. It accepts every zero or sentinel value
@@ -107,10 +136,8 @@ type XTreeOptions struct {
 // empty Engine), so Validate(withDefaults(...)) is stable. Command-line
 // front ends call it to reject flag mistakes before any data is loaded.
 func (o Options) Validate() error {
-	switch o.Engine {
-	case EngineScan, EngineXTree, EngineVAFile, "":
-	default:
-		return fmt.Errorf("metricdb: unknown engine %q", o.Engine)
+	if o.Engine != "" && !engines.Known(engines.Kind(o.Engine)) {
+		return fmt.Errorf("metricdb: unknown engine %q (have %v)", o.Engine, engines.Kinds())
 	}
 	if o.PageCapacity < 0 {
 		return fmt.Errorf("metricdb: page capacity must be >= 0 (0 derives from 32 KB blocks), got %d", o.PageCapacity)
@@ -142,6 +169,19 @@ func (o Options) Validate() error {
 		}
 		if x.ReinsertFraction < 0 || x.ReinsertFraction >= 1 {
 			return fmt.Errorf("metricdb: X-tree reinsert fraction must be in [0, 1), got %g", x.ReinsertFraction)
+		}
+	}
+	if p := o.Pivot; p != nil {
+		if p.Pivots < 0 {
+			return fmt.Errorf("metricdb: pivot count must be >= 0 (0 selects the default), got %d", p.Pivots)
+		}
+	}
+	if p := o.PMTree; p != nil {
+		if p.Pivots < 0 {
+			return fmt.Errorf("metricdb: PM-tree pivot count must be >= 0 (0 selects the default), got %d", p.Pivots)
+		}
+		if p.Fanout != 0 && p.Fanout < 2 {
+			return fmt.Errorf("metricdb: PM-tree fanout must be 0 (default) or >= 2, got %d", p.Fanout)
 		}
 	}
 	return nil
@@ -220,6 +260,43 @@ func (o Options) withDefaults(dim, nItems int) (Options, int) {
 	return o, bufferPages
 }
 
+// engineSpec translates resolved public options into the engine registry's
+// request — the module's only bridge to engine construction. The options
+// must already be defaulted (withDefaults); wrap may be nil.
+func (o Options) engineSpec(items []Item, dim, bufferPages int, columns store.ColumnSpec,
+	wrap func(store.PageSource) (store.PageSource, error)) engines.Spec {
+	s := engines.Spec{
+		Kind:         engines.Kind(o.Engine),
+		Items:        items,
+		Dim:          dim,
+		Metric:       o.Metric,
+		PageCapacity: o.PageCapacity,
+		BufferPages:  bufferPages,
+		Columns:      columns,
+		WrapDisk:     wrap,
+		VAFileBits:   o.VAFileBits,
+	}
+	if x := o.XTree; x != nil {
+		s.XTree = &engines.XTreeTuning{
+			DirFanout:        x.DirFanout,
+			MaxOverlap:       x.MaxOverlap,
+			MinFillRatio:     x.MinFillRatio,
+			STRBulkLoad:      x.STRBulkLoad,
+			ReinsertFraction: x.ReinsertFraction,
+		}
+	}
+	if p := o.Pivot; p != nil {
+		s.Pivots = p.Pivots
+	}
+	if p := o.PMTree; p != nil {
+		if o.Engine == EnginePMTree {
+			s.Pivots = p.Pivots
+		}
+		s.PMTreeFanout = p.Fanout
+	}
+	return s
+}
+
 // DB is a metric database ready to answer similarity queries. A DB is safe
 // for concurrent single queries; batches (sessions) are single-goroutine.
 type DB struct {
@@ -259,44 +336,7 @@ func Open(items []Item, opts Options) (*DB, error) {
 		return nil, err
 	}
 
-	var eng engine.Engine
-	switch opts.Engine {
-	case EngineScan, "":
-		eng, err = scan.NewWithConfig(items, scan.Config{
-			PageCapacity: opts.PageCapacity,
-			BufferPages:  bufferPages,
-			Columns:      columns,
-		})
-	case EngineVAFile:
-		eng, err = vafile.New(items, vafile.Config{
-			Bits:         opts.VAFileBits,
-			PageCapacity: opts.PageCapacity,
-			BufferPages:  bufferPages,
-			Metric:       opts.Metric,
-			Columns:      columns,
-		})
-	case EngineXTree:
-		cfg := xtree.DefaultConfig(dim)
-		cfg.LeafCapacity = opts.PageCapacity
-		cfg.BufferPages = bufferPages
-		cfg.Metric = opts.Metric
-		cfg.Columns = columns
-		if x := opts.XTree; x != nil {
-			if x.DirFanout != 0 {
-				cfg.DirFanout = x.DirFanout
-			}
-			cfg.MaxOverlap = x.MaxOverlap
-			cfg.MinFillRatio = x.MinFillRatio
-			cfg.ReinsertFraction = x.ReinsertFraction
-		}
-		if opts.XTree != nil && opts.XTree.STRBulkLoad {
-			eng, err = xtree.BulkSTR(items, dim, cfg)
-		} else {
-			eng, err = xtree.Bulk(items, dim, cfg)
-		}
-	default:
-		return nil, fmt.Errorf("metricdb: unknown engine %q", opts.Engine)
-	}
+	eng, err := engines.Build(opts.engineSpec(items, dim, bufferPages, columns, nil))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,168 @@
+// Per-batch engine cost prediction: given the dataset's intrinsics and a
+// batch's shape (how many queries, how selective they are), price each
+// registered engine with the Model's time constants. The point is not
+// absolute accuracy — the constants are calibrated or nominal either way —
+// but getting the crossovers right: a tree wins at low intrinsic dimension
+// and small batches, the pivot table holds on longer because its probes are
+// arithmetic, and the scan wins once selectivity collapses or the batch is
+// large enough that one shared sequential sweep amortizes over every query
+// (the paper's m-fold I/O speed-up).
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// BatchShape describes one query batch against one dataset. Counts are
+// per batch; selectivity is per query.
+type BatchShape struct {
+	// Queries is the batch size m.
+	Queries int
+	// Items and PageCapacity describe the dataset.
+	Items        int
+	PageCapacity int
+	// IntrinsicDim is the dataset's estimated intrinsic dimensionality
+	// (values below 1 are clamped to 1).
+	IntrinsicDim float64
+	// MeanK is the mean answer cardinality over the batch's queries (for
+	// range queries, the expected answer count; 1 when unknown).
+	MeanK float64
+	// Selectivity, when positive, is the measured per-query item
+	// selectivity (fraction of items a query's pruning sphere covers) and
+	// overrides the MeanK-based estimate — callers that can sample real
+	// distances should set it.
+	Selectivity float64
+	// Pivots is the pivot count of the pivot-based engines (0 selects the
+	// LAESA default of 16 for pricing).
+	Pivots int
+}
+
+// Validate rejects shapes the estimator cannot price.
+func (s BatchShape) Validate() error {
+	if s.Queries < 1 {
+		return fmt.Errorf("cost: batch of %d queries", s.Queries)
+	}
+	if s.Items < 1 {
+		return fmt.Errorf("cost: dataset of %d items", s.Items)
+	}
+	if s.PageCapacity < 1 {
+		return fmt.Errorf("cost: page capacity %d", s.PageCapacity)
+	}
+	if s.Selectivity < 0 || s.Selectivity > 1 {
+		return fmt.Errorf("cost: selectivity %g outside [0, 1]", s.Selectivity)
+	}
+	return nil
+}
+
+// EngineEstimate is one engine's predicted batch cost in counted work and
+// in the Model's time units.
+type EngineEstimate struct {
+	// Engine is the registry kind name ("scan", "xtree", ...).
+	Engine string `json:"engine"`
+	// PagesRead is the predicted data-page reads for the whole batch.
+	PagesRead int64 `json:"pages_read"`
+	// DistCalcs is the predicted object distance calculations.
+	DistCalcs int64 `json:"dist_calcs"`
+	// PivotDistCalcs is the predicted per-query setup distances (pivot
+	// table, PM-tree routing) — zero for geometry-based engines.
+	PivotDistCalcs int64 `json:"pivot_dist_calcs,omitempty"`
+	// IO, CPU and Total are the priced components.
+	IO    time.Duration `json:"io_ns"`
+	CPU   time.Duration `json:"cpu_ns"`
+	Total time.Duration `json:"total_ns"`
+}
+
+// selectivity returns the per-query fraction of items a query's pruning
+// sphere is expected to cover: the measured value when the shape carries
+// one, otherwise the Minkowski-sum estimate at page granularity,
+//
+//	s = ((k/n)^(1/d) + (cap/n)^(1/d))^d
+//
+// — the k-NN sphere inflated by a page diameter, the standard
+// cost-model form (Weber/Böhm style) driven by the *intrinsic* dimension,
+// which is what governs how fast spheres stop excluding anything.
+func (s BatchShape) selectivity() float64 {
+	if s.Selectivity > 0 {
+		return math.Min(1, s.Selectivity)
+	}
+	d := math.Max(1, s.IntrinsicDim)
+	k := math.Max(1, s.MeanK)
+	n := float64(s.Items)
+	cap := math.Min(float64(s.PageCapacity), n)
+	sel := math.Pow(math.Pow(k/n, 1/d)+math.Pow(cap/n, 1/d), d)
+	return math.Min(1, sel)
+}
+
+// EstimateBatch prices every registered engine for the batch and returns
+// the estimates in ascending total cost (ties by name, so the result is
+// deterministic). The winner is the first entry.
+func (m Model) EstimateBatch(shape BatchShape) ([]EngineEstimate, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	n := float64(shape.Items)
+	mq := float64(shape.Queries)
+	pages := math.Ceil(n / float64(shape.PageCapacity))
+	sel := shape.selectivity()
+	pivots := float64(shape.Pivots)
+	if pivots <= 0 {
+		pivots = 16
+	}
+	// Fraction of pages the batch reads when queries share one pass over
+	// a common layout: a page is fetched once if any of the m queries
+	// needs it.
+	union := 1 - math.Pow(1-sel, mq)
+
+	ests := []EngineEstimate{
+		// Scan: one shared sequential sweep for the whole batch, no
+		// pruning — every (query, item) pair is offered.
+		m.price("scan", pages, 0, mq*n, 0),
+		// X-tree: per-query random reads over its private clustered
+		// layout; pruning follows the selectivity, which the intrinsic
+		// dimension inflates toward 1.
+		m.price("xtree", 0, mq*sel*pages, mq*sel*n, 0),
+		// VA-file: every query scans the in-memory approximations (priced
+		// as comparisons), then random-reads the pages the bounds cannot
+		// exclude.
+		m.priceWithFilter("vafile", 0, mq*sel*pages, mq*sel*n, 0, mq*n),
+		// Pivot table: the batch shares one sweep over the pivot-ordered
+		// pages that any query needs; each query pays its pivot distances
+		// once, and each (query, page) probe is arithmetic.
+		m.price("pivot", union*pages, 0, mq*sel*n, mq*pivots),
+		// PM-tree: clustered pages read once per batch when any query
+		// needs them (random order — the tree's layout is not the
+		// sweep's), plus per-query routing distances down the directory.
+		m.price("pmtree", 0, union*pages, mq*sel*n,
+			mq*(pivots+math.Ceil(math.Log2(pages+1)))),
+	}
+	sort.Slice(ests, func(i, j int) bool {
+		if ests[i].Total != ests[j].Total {
+			return ests[i].Total < ests[j].Total
+		}
+		return ests[i].Engine < ests[j].Engine
+	})
+	return ests, nil
+}
+
+func (m Model) price(engine string, seqPages, randPages, distCalcs, pivotCalcs float64) EngineEstimate {
+	return m.priceWithFilter(engine, seqPages, randPages, distCalcs, pivotCalcs, 0)
+}
+
+// priceWithFilter prices counted work; filterProbes are cheap per-item
+// bound evaluations (VA-file approximations) priced like avoidance
+// comparisons.
+func (m Model) priceWithFilter(engine string, seqPages, randPages, distCalcs, pivotCalcs, filterProbes float64) EngineEstimate {
+	e := EngineEstimate{
+		Engine:         engine,
+		PagesRead:      int64(math.Ceil(seqPages + randPages)),
+		DistCalcs:      int64(math.Ceil(distCalcs)),
+		PivotDistCalcs: int64(math.Ceil(pivotCalcs)),
+	}
+	e.IO = time.Duration(seqPages*float64(m.SeqPageRead) + randPages*float64(m.RandPageRead))
+	e.CPU = time.Duration((distCalcs+pivotCalcs)*float64(m.DistCalc) + filterProbes*float64(m.Compare))
+	e.Total = e.IO + e.CPU
+	return e
+}

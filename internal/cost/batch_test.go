@@ -1,0 +1,129 @@
+package cost
+
+import (
+	"reflect"
+	"testing"
+)
+
+func estimate(t *testing.T, s BatchShape) []EngineEstimate {
+	t.Helper()
+	ests, err := PaperModel(16).EstimateBatch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 5 {
+		t.Fatalf("priced %d engines, want 5", len(ests))
+	}
+	for i := 1; i < len(ests); i++ {
+		if ests[i].Total < ests[i-1].Total {
+			t.Fatalf("estimates not ascending: %v then %v", ests[i-1], ests[i])
+		}
+	}
+	return ests
+}
+
+func rank(ests []EngineEstimate) map[string]int {
+	r := make(map[string]int, len(ests))
+	for i, e := range ests {
+		r[e.Engine] = i
+	}
+	return r
+}
+
+// TestEstimateBatchCrossovers pins the qualitative crossovers the advisor
+// exists for; the absolute numbers are calibration, the ordering is the
+// contract.
+func TestEstimateBatchCrossovers(t *testing.T) {
+	base := BatchShape{Items: 100000, PageCapacity: 64, MeanK: 10}
+
+	// Low intrinsic dimension, one query: index selectivity is real, the
+	// full sweep is waste — the scan must not win.
+	low := base
+	low.Queries, low.IntrinsicDim = 1, 4
+	if ests := estimate(t, low); ests[0].Engine == "scan" {
+		t.Errorf("scan cheapest at intrinsic dim 4, m=1: %+v", ests)
+	}
+
+	// High intrinsic dimension: spheres cover everything, pruning is an
+	// illusion, and random I/O only adds insult — the scan wins.
+	high := base
+	high.Queries, high.IntrinsicDim = 1, 64
+	if ests := estimate(t, high); ests[0].Engine != "scan" {
+		t.Errorf("%q cheapest at intrinsic dim 64, want scan: %+v", ests[0].Engine, ests)
+	}
+
+	// Moderate dimension, large batch: the pivot table shares one sweep
+	// over the union of needed pages and prunes distance calculations with
+	// arithmetic — it must beat both the scan (fewer DistCalcs) and the
+	// per-query random I/O of the tree.
+	mid := base
+	mid.Queries, mid.IntrinsicDim = 32, 9
+	ests := estimate(t, mid)
+	r := rank(ests)
+	if r["pivot"] > r["scan"] {
+		t.Errorf("pivot priced above scan at dim 9, m=32: %+v", ests)
+	}
+	if r["pivot"] > r["xtree"] {
+		t.Errorf("pivot priced above xtree at dim 9, m=32: %+v", ests)
+	}
+	for _, e := range ests {
+		if e.Engine == "pivot" && e.DistCalcs >= mid.mustScanDistCalcs() {
+			t.Errorf("pivot predicts %d DistCalcs, not fewer than scan's %d",
+				e.DistCalcs, mid.mustScanDistCalcs())
+		}
+	}
+
+	// A measured selectivity overrides the model's estimate.
+	meas := base
+	meas.Queries, meas.IntrinsicDim, meas.Selectivity = 4, 64, 0.001
+	if ests := estimate(t, meas); ests[0].Engine == "scan" {
+		t.Errorf("measured selectivity 0.1%% ignored; scan still cheapest: %+v", ests)
+	}
+
+	// Determinism: identical shapes price identically.
+	a := estimate(t, mid)
+	b := estimate(t, mid)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("EstimateBatch is not deterministic")
+	}
+}
+
+func (s BatchShape) mustScanDistCalcs() int64 {
+	return int64(s.Queries) * int64(s.Items)
+}
+
+func TestEstimateBatchValidation(t *testing.T) {
+	m := PaperModel(8)
+	bad := []BatchShape{
+		{Queries: 0, Items: 10, PageCapacity: 4},
+		{Queries: 1, Items: 0, PageCapacity: 4},
+		{Queries: 1, Items: 10, PageCapacity: 0},
+		{Queries: 1, Items: 10, PageCapacity: 4, Selectivity: 1.5},
+		{Queries: 1, Items: 10, PageCapacity: 4, Selectivity: -0.1},
+	}
+	for i, s := range bad {
+		if _, err := m.EstimateBatch(s); err == nil {
+			t.Errorf("shape %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestSelectivityMonotonic: the Minkowski-sum estimate must grow with the
+// intrinsic dimension (the curse) and never leave [0, 1].
+func TestSelectivityMonotonic(t *testing.T) {
+	prev := 0.0
+	for d := 1.0; d <= 64; d *= 2 {
+		s := BatchShape{Items: 100000, PageCapacity: 64, MeanK: 10, IntrinsicDim: d}
+		sel := s.selectivity()
+		if sel < prev {
+			t.Errorf("selectivity fell from %g to %g at dim %g", prev, sel, d)
+		}
+		if sel < 0 || sel > 1 {
+			t.Errorf("selectivity %g outside [0,1] at dim %g", sel, d)
+		}
+		prev = sel
+	}
+	if prev != 1 {
+		t.Errorf("selectivity at dim 64 is %g, want saturation at 1", prev)
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunEnginesSmoke runs a miniature engine sweep and checks the
+// invariants the committed artifact rests on: every engine answers
+// identically to the scan, scan rows have speedup exactly 1, the
+// pivot-based engines account their setup distances, and the JSON document
+// round-trips.
+func TestRunEnginesSmoke(t *testing.T) {
+	sweep, err := RunEngines([]int{4}, []int{1, 4}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sweep.Results), len(sweep.Engines)*2; got != want {
+		t.Fatalf("%d results, want %d", got, want)
+	}
+	var sawPivotWin bool
+	for _, r := range sweep.Results {
+		if !r.Identical {
+			t.Errorf("%s dim=%d m=%d diverged from the scan", r.Engine, r.Dim, r.M)
+		}
+		if r.Engine == "scan" && r.Speedup != 1 {
+			t.Errorf("scan speedup = %g, want exactly 1", r.Speedup)
+		}
+		if (r.Engine == "pivot" || r.Engine == "pmtree") && r.PivotDistCalcs == 0 {
+			t.Errorf("%s dim=%d m=%d reports no pivot setup distances", r.Engine, r.Dim, r.M)
+		}
+		if r.Engine == "pivot" && r.Speedup > 1 {
+			sawPivotWin = true
+		}
+	}
+	if !sawPivotWin {
+		t.Error("pivot table never reduced distance work below the scan at intrinsic dim 4")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteEnginesJSON(&buf, sweep); err != nil {
+		t.Fatal(err)
+	}
+	var back EnginesSweep
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(sweep.Results) {
+		t.Errorf("round-trip lost results: %d vs %d", len(back.Results), len(sweep.Results))
+	}
+	if fig := sweep.Figure(); len(fig.Series) == 0 || len(fig.XVals) != 2 {
+		t.Errorf("figure shape: %d series, %d x-values", len(fig.Series), len(fig.XVals))
+	}
+}

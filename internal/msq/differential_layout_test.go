@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"metricdb/internal/engine"
+	"metricdb/internal/pivot"
+	"metricdb/internal/pmtree"
 	"metricdb/internal/query"
 	"metricdb/internal/scan"
 	"metricdb/internal/store"
@@ -53,6 +55,22 @@ func layoutMakers(spec store.ColumnSpec) []diffMaker {
 		{"vafile", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
 			t.Helper()
 			e, err := vafile.New(items, vafile.Config{PageCapacity: 16, BufferPages: 4, Metric: m, Columns: spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"pivot", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
+			t.Helper()
+			e, err := pivot.New(items, pivot.Config{PageCapacity: 16, BufferPages: 4, Pivots: 8, Metric: m, Columns: spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"pmtree", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
+			t.Helper()
+			e, err := pmtree.New(items, pmtree.Config{PageCapacity: 16, BufferPages: 4, Pivots: 8, Metric: m, Columns: spec})
 			if err != nil {
 				t.Fatal(err)
 			}

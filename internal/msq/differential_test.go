@@ -7,6 +7,8 @@ import (
 
 	"metricdb/internal/engine"
 	"metricdb/internal/obs"
+	"metricdb/internal/pivot"
+	"metricdb/internal/pmtree"
 	"metricdb/internal/query"
 	"metricdb/internal/scan"
 	"metricdb/internal/store"
@@ -58,6 +60,22 @@ func diffMakers() []diffMaker {
 		{"vafile", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
 			t.Helper()
 			e, err := vafile.New(items, vafile.Config{PageCapacity: 16, BufferPages: 4, Metric: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"pivot", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
+			t.Helper()
+			e, err := pivot.New(items, pivot.Config{PageCapacity: 16, BufferPages: 4, Pivots: 8, Metric: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"pmtree", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
+			t.Helper()
+			e, err := pmtree.New(items, pmtree.Config{PageCapacity: 16, BufferPages: 4, Pivots: 8, Metric: m})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -207,6 +225,41 @@ func TestDifferentialPipeline(t *testing.T) {
 						t.Errorf("width 2 and 8 stats differ:\n  2: %+v\n  8: %+v", wide[0].stats, wide[1].stats)
 					}
 				})
+			}
+		}
+	}
+}
+
+// TestDifferentialEnginesMatchScan pins answer identity across physical
+// organizations: every indexed engine, under every metric, avoidance mode
+// and pipeline width, must return the exact answers of the sequential scan
+// — same IDs, bit-identical distances. Pruning may only skip work, never
+// change results.
+func TestDifferentialEnginesMatchScan(t *testing.T) {
+	const dim = 4
+	items := testDB(91, 300, dim)
+	queries := diffBatch(dim, 92)
+	metrics := []struct {
+		name string
+		m    vec.Metric
+	}{
+		{"euclidean", vec.Euclidean{}},
+		{"manhattan", vec.Manhattan{}},
+	}
+	makers := diffMakers()
+
+	for _, mt := range metrics {
+		for _, mode := range []AvoidanceMode{AvoidBoth, AvoidOff} {
+			for _, width := range []int{1, 2, 8} {
+				ref := runDifferential(t, makers[0], mt.m, mode, width, items, dim, queries)
+				for _, mk := range makers[1:] {
+					t.Run(fmt.Sprintf("%s/%s/%s/w%d", mk.name, mt.name, mode, width), func(t *testing.T) {
+						got := runDifferential(t, mk, mt.m, mode, width, items, dim, queries)
+						if diag, ok := identicalAnswers(ref.answers, got.answers); !ok {
+							t.Errorf("answers differ from scan: %s", diag)
+						}
+					})
+				}
 			}
 		}
 	}

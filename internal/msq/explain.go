@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"metricdb/internal/engine"
 	"metricdb/internal/obs"
 	"metricdb/internal/store"
 )
@@ -72,6 +73,10 @@ func (p Profile) Offered() int64 {
 type Explain struct {
 	// Engine is the physical organization the batch ran against.
 	Engine string `json:"engine"`
+	// EngineConfig is the engine's self-described tuning (pivot count,
+	// approximation bits, directory fanout) for engines that implement
+	// engine.Described; the zero value means the engine describes nothing.
+	EngineConfig engine.Config `json:"engine_config,omitzero"`
 	// Width is the pipeline width the batch ran at.
 	Width int `json:"width"`
 	// Avoidance is the triangle-inequality mode ("both", "off", ...).
@@ -293,8 +298,14 @@ func (s *Session) ExplainAllContext(ctx context.Context, queries []Query) (*Expl
 	}
 
 	out := &Explain{
-		Engine:    s.proc.eng.Name(),
-		Width:     s.proc.Concurrency(),
+		Engine: s.proc.eng.Name(),
+		Width:  s.proc.Concurrency(),
+		EngineConfig: func() engine.Config {
+			if d, ok := s.proc.eng.(engine.Described); ok {
+				return d.Describe()
+			}
+			return engine.Config{}
+		}(),
 		Avoidance: s.proc.opts.Avoidance.String(),
 		Queries:   make([]Profile, len(queries)),
 		Stats:     stats,

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"metricdb/internal/engine"
+	"metricdb/internal/pivot"
+	"metricdb/internal/pmtree"
 	"metricdb/internal/scan"
 	"metricdb/internal/store"
 	"metricdb/internal/vafile"
@@ -93,6 +95,28 @@ func fileDiskMakers(mmap bool) []diffMaker {
 			t.Helper()
 			e, err := vafile.New(items, vafile.Config{
 				PageCapacity: 16, BufferPages: 4, Metric: m,
+				WrapDisk: persistToFileDisk(t, mmap),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"pivot", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
+			t.Helper()
+			e, err := pivot.New(items, pivot.Config{
+				PageCapacity: 16, BufferPages: 4, Pivots: 8, Metric: m,
+				WrapDisk: persistToFileDisk(t, mmap),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"pmtree", func(t *testing.T, items []store.Item, dim int, m vec.Metric) engine.Engine {
+			t.Helper()
+			e, err := pmtree.New(items, pmtree.Config{
+				PageCapacity: 16, BufferPages: 4, Pivots: 8, Metric: m,
 				WrapDisk: persistToFileDisk(t, mmap),
 			})
 			if err != nil {

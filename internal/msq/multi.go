@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"metricdb/internal/engine"
 	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/store"
@@ -20,6 +21,12 @@ import (
 type queryState struct {
 	q       Query
 	answers *query.AnswerList
+	// pq is the engine's prepared handle for this query, created once when
+	// the query first enters the session. Pivot-based engines pay their
+	// query-to-pivot distances here, so every later page probe (plans,
+	// relevance checks, bootstrap bounds) across every incremental call
+	// reuses them for free.
+	pq engine.PreparedQuery
 	// mu guards answers while the concurrent pipeline's sharded merge
 	// workers feed per-page results into the list (one shard — and hence
 	// one worker — per query, but the lock keeps the ownership explicit
@@ -127,6 +134,7 @@ func (s *Session) state(q Query) (*queryState, error) {
 	st := &queryState{
 		q:         q,
 		answers:   query.NewAnswerList(q.Type),
+		pq:        s.proc.eng.Prepare(q.Vec),
 		processed: make(map[store.PageID]struct{}),
 		bound:     math.Inf(1),
 	}
@@ -160,6 +168,10 @@ func (s *Session) MultiQueryContext(ctx context.Context, queries []Query) ([]*qu
 	if traced {
 		begin = time.Now()
 	}
+	// Accounting starts before prepare so the pivot distances paid by
+	// Engine.Prepare for queries entering the session are charged to this
+	// call's PivotDistCalcs.
+	acct := s.beginAccounting()
 	states, results, err := s.prepare(queries)
 	if err != nil {
 		return nil, Stats{}, err
@@ -170,11 +182,12 @@ func (s *Session) MultiQueryContext(ctx context.Context, queries []Query) ([]*qu
 		if traced {
 			tr.RecordQuery("multi", len(queries), time.Since(begin), 0, 0, 0)
 		}
-		return results, Stats{}, nil
+		var st Stats
+		acct.finish(&st)
+		return results, st, nil
 	}
 
 	var stats Stats
-	acct := s.beginAccounting()
 
 	// Inter-query distance matrix for the avoidance lemmas. Computing it
 	// costs m(m-1)/2 distance calculations — the initialization overhead
@@ -232,21 +245,29 @@ type accounting struct {
 	ioBefore      store.IOStats
 	distBefore    int64
 	abandonBefore int64
+	pivotBefore   int64
 }
 
 func (s *Session) beginAccounting() accounting {
-	return accounting{
+	a := accounting{
 		s:             s,
 		ioBefore:      ioSnapshot(s.proc.eng.Pager()),
 		distBefore:    s.proc.metric.Count(),
 		abandonBefore: s.proc.metric.Abandoned(),
 	}
+	if pc, ok := s.proc.eng.(engine.PivotCoster); ok {
+		a.pivotBefore = pc.PivotDistCalcs()
+	}
+	return a
 }
 
 func (a accounting) finish(stats *Stats) {
 	stats.PagesRead = a.s.proc.eng.Pager().Disk().Stats().Reads - a.ioBefore.Reads
 	stats.DistCalcs = a.s.proc.metric.Count() - a.distBefore - stats.MatrixDistCalcs
 	stats.PartialAbandoned = a.s.proc.metric.Abandoned() - a.abandonBefore
+	if pc, ok := a.s.proc.eng.(engine.PivotCoster); ok {
+		stats.PivotDistCalcs = pc.PivotDistCalcs() - a.pivotBefore
+	}
 }
 
 // identityPositions returns [0, 1, ..., n-1].
@@ -291,7 +312,7 @@ func (s *Session) run(ctx context.Context, states []*queryState, matrix [][]floa
 		planStart = time.Now()
 	}
 	sp := tr.Start(obs.PhasePlan)
-	plan := s.proc.eng.Plan(first.q.Vec, first.queryDist())
+	plan := first.pq.Plan(first.queryDist())
 	sp.End()
 	if ex != nil {
 		ex.observe(obs.PhasePlan, time.Since(planStart))
@@ -374,7 +395,7 @@ func (s *Session) decideActive(pid store.PageID, states []*queryState, pos []int
 		if _, ok := st.processed[pid]; ok {
 			continue
 		}
-		if i > 0 && s.proc.eng.MinDist(st.q.Vec, pid) > st.queryDist() {
+		if i > 0 && st.pq.MinDist(pid) > st.queryDist() {
 			continue
 		}
 		active = append(active, st)
@@ -403,7 +424,7 @@ func (s *Session) bootstrap(states []*queryState) {
 			if eng.PageLen(p) < k {
 				continue
 			}
-			if d := eng.MaxDist(st.q.Vec, p); d < best {
+			if d := st.pq.MaxDist(p); d < best {
 				best = d
 			}
 		}
@@ -435,7 +456,7 @@ func (s *Session) seedFirstPages(states []*queryState, pos []int, stats *Stats) 
 			if _, ok := st.processed[p]; ok {
 				continue
 			}
-			d := eng.MinDist(st.q.Vec, p)
+			d := st.pq.MinDist(p)
 			if d > 0 {
 				informative = true
 			}
@@ -1032,13 +1053,15 @@ func (s *Session) multiQueryAllLocked(ctx context.Context, queries []Query) ([]*
 	if traced {
 		begin = time.Now()
 	}
+	// As in MultiQueryContext, accounting brackets prepare so Prepare-time
+	// pivot distances land in this call's PivotDistCalcs.
+	acct := s.beginAccounting()
 	states, results, err := s.prepare(queries)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 
 	var stats Stats
-	acct := s.beginAccounting()
 	var matrixStart time.Time
 	if s.explain != nil {
 		matrixStart = time.Now()

@@ -57,7 +57,7 @@ func (p *Processor) Ranking(q vec.Vector) (*Ranking, error) {
 	return &Ranking{
 		proc: p,
 		q:    q,
-		plan: p.eng.Plan(q, query.NewKNN(1).InitialQueryDist()),
+		plan: p.eng.Prepare(q).Plan(query.NewKNN(1).InitialQueryDist()),
 	}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"metricdb/internal/engine"
 	"metricdb/internal/obs"
 	"metricdb/internal/query"
 	"metricdb/internal/vec"
@@ -43,10 +44,16 @@ func (p *Processor) SingleContext(ctx context.Context, q vec.Vector, t query.Typ
 	ioBefore := ioSnapshot(p.eng.Pager())
 	distBefore := p.metric.Count()
 	abandonBefore := p.metric.Abandoned()
+	var pivotBefore int64
+	pc, hasPivots := p.eng.(engine.PivotCoster)
+	if hasPivots {
+		pivotBefore = pc.PivotDistCalcs()
+	}
 	stats := Stats{Queries: 1}
 
 	sp := tr.Start(obs.PhasePlan)
-	plan := p.eng.Plan(q, t.InitialQueryDist())
+	pq := p.eng.Prepare(q)
+	plan := pq.Plan(t.InitialQueryDist())
 	sp.End()
 	for _, ref := range plan {
 		if err := ctx.Err(); err != nil {
@@ -92,6 +99,9 @@ func (p *Processor) SingleContext(ctx context.Context, q vec.Vector, t query.Typ
 	stats.PagesRead = p.eng.Pager().Disk().Stats().Reads - ioBefore.Reads
 	stats.DistCalcs = p.metric.Count() - distBefore
 	stats.PartialAbandoned = p.metric.Abandoned() - abandonBefore
+	if hasPivots {
+		stats.PivotDistCalcs = pc.PivotDistCalcs() - pivotBefore
+	}
 	if traced {
 		tr.RecordQuery("single", 1, time.Since(begin), stats.PagesRead, stats.DistCalcs, stats.Avoided)
 	}

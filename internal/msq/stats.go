@@ -41,6 +41,13 @@ type Stats struct {
 	// unaffected because the bound is conservative: every pair that could
 	// be an answer survives to the exact float64 kernel.
 	QuantFiltered int64
+	// PivotDistCalcs counts the query-to-pivot distance calculations paid
+	// by pivot-based engines in Engine.Prepare (the pivot table's and the
+	// PM-tree's per-query setup). They are real metric evaluations, kept
+	// separate from DistCalcs so the filter's fixed cost is visible next
+	// to the object-distance calculations it saves; they never affect the
+	// Lemma 1/2 accounting invariants, which range over object distances.
+	PivotDistCalcs int64
 	// PartialAbandoned counts the subset of DistCalcs that the bounded
 	// distance kernels resolved early: the running partial result already
 	// exceeded the query's pruning bound, so the exact distance was
@@ -74,6 +81,7 @@ func (s Stats) Add(t Stats) Stats {
 		AvoidTries:       s.AvoidTries + t.AvoidTries,
 		Avoided:          s.Avoided + t.Avoided,
 		QuantFiltered:    s.QuantFiltered + t.QuantFiltered,
+		PivotDistCalcs:   s.PivotDistCalcs + t.PivotDistCalcs,
 		PartialAbandoned: s.PartialAbandoned + t.PartialAbandoned,
 
 		Degraded:           s.Degraded || t.Degraded,

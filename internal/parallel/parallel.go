@@ -21,14 +21,12 @@ import (
 	"time"
 
 	"metricdb/internal/engine"
+	"metricdb/internal/engines"
 	"metricdb/internal/msq"
 	"metricdb/internal/obs"
 	"metricdb/internal/query"
-	"metricdb/internal/scan"
 	"metricdb/internal/store"
-	"metricdb/internal/vafile"
 	"metricdb/internal/vec"
-	"metricdb/internal/xtree"
 )
 
 // Strategy selects how items are declustered over the servers.
@@ -103,17 +101,23 @@ func Decluster(items []store.Item, s int, strategy Strategy, seed int64) ([][]st
 	return parts, nil
 }
 
-// EngineKind selects the per-server physical organization.
-type EngineKind int
+// EngineKind selects the per-server physical organization. It is the
+// engine registry's kind, so every registered engine works per server.
+type EngineKind = engines.Kind
 
-// Engine kinds.
+// Engine kinds (aliases of the registry's names; the zero value "" selects
+// the scan).
 const (
 	// ScanEngine gives each server a sequential scan.
-	ScanEngine EngineKind = iota
+	ScanEngine = engines.Scan
 	// XTreeEngine gives each server an X-tree.
-	XTreeEngine
+	XTreeEngine = engines.XTree
 	// VAFileEngine gives each server a vector-approximation file.
-	VAFileEngine
+	VAFileEngine = engines.VAFile
+	// PivotEngine gives each server a LAESA pivot table.
+	PivotEngine = engines.Pivot
+	// PMTreeEngine gives each server a PM-tree.
+	PMTreeEngine = engines.PMTree
 )
 
 // Config parameterizes a cluster.
@@ -217,35 +221,25 @@ func New(items []store.Item, cfg Config) (*Cluster, error) {
 				return cfg.WrapDisk(si, src)
 			}
 		}
-		var eng engine.Engine
-		switch cfg.Engine {
-		case ScanEngine:
-			buf := cfg.BufferPages
-			if buf < 0 {
-				buf = store.DefaultBufferPages((len(part) + cfg.PageCapacity - 1) / cfg.PageCapacity)
-			}
-			eng, err = scan.NewWithConfig(part, scan.Config{
-				PageCapacity: cfg.PageCapacity,
-				BufferPages:  buf,
-				WrapDisk:     wrap,
-			})
-		case VAFileEngine:
-			eng, err = vafile.New(part, vafile.Config{
-				PageCapacity: cfg.PageCapacity,
-				BufferPages:  cfg.BufferPages,
-				Metric:       cfg.Metric,
-				WrapDisk:     wrap,
-			})
-		case XTreeEngine:
-			xcfg := xtree.DefaultConfig(cfg.Dim)
-			xcfg.LeafCapacity = cfg.PageCapacity
-			xcfg.BufferPages = cfg.BufferPages
-			xcfg.Metric = cfg.Metric
-			xcfg.WrapDisk = wrap
-			eng, err = xtree.Bulk(part, cfg.Dim, xcfg)
-		default:
-			return nil, fmt.Errorf("parallel: unknown engine kind %d", cfg.Engine)
+		kind := cfg.Engine
+		if kind == "" {
+			kind = ScanEngine
 		}
+		// The per-server buffer sentinel (negative = the 10 % default)
+		// is resolved against the partition's own page count.
+		buf := cfg.BufferPages
+		if buf < 0 {
+			buf = store.DefaultBufferPages((len(part) + cfg.PageCapacity - 1) / cfg.PageCapacity)
+		}
+		eng, err := engines.Build(engines.Spec{
+			Kind:         kind,
+			Items:        part,
+			Dim:          cfg.Dim,
+			Metric:       cfg.Metric,
+			PageCapacity: cfg.PageCapacity,
+			BufferPages:  buf,
+			WrapDisk:     wrap,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("parallel: server %d: %w", i, err)
 		}

@@ -83,7 +83,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(items, Config{Servers: 0, Dim: 3, PageCapacity: 8}); err == nil {
 		t.Error("zero servers accepted")
 	}
-	if _, err := New(items, Config{Servers: 2, Dim: 3, PageCapacity: 8, Engine: EngineKind(9)}); err == nil {
+	if _, err := New(items, Config{Servers: 2, Dim: 3, PageCapacity: 8, Engine: EngineKind("bogus")}); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
@@ -144,11 +144,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 			for qi := range queries {
 				w, g := want[qi].Answers(), got[qi].Answers()
 				if len(w) != len(g) {
-					t.Fatalf("engine %d s=%d query %d: %d vs %d answers", kind, s, qi, len(g), len(w))
+					t.Fatalf("engine %s s=%d query %d: %d vs %d answers", kind, s, qi, len(g), len(w))
 				}
 				for j := range w {
 					if w[j].ID != g[j].ID || math.Abs(w[j].Dist-g[j].Dist) > 1e-12 {
-						t.Fatalf("engine %d s=%d query %d answer %d differs", kind, s, qi, j)
+						t.Fatalf("engine %s s=%d query %d answer %d differs", kind, s, qi, j)
 					}
 				}
 			}

@@ -1,0 +1,48 @@
+package pivot
+
+import (
+	"bytes"
+	"testing"
+
+	"metricdb/internal/vec"
+)
+
+// FuzzTableDecode drives DecodeTable with arbitrary bytes: it must never
+// panic, and any record it accepts must satisfy the Table invariants and
+// re-encode to the exact input bytes (the format has no redundancy, so
+// decode ∘ encode is the identity on valid records).
+func FuzzTableDecode(f *testing.F) {
+	items := testItems(1, 50, 3)
+	tab, err := BuildTable(items, []int{16, 16, 16, 2}, 4, vec.Euclidean{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tab.Generation = 7
+	valid, err := EncodeTable(tab)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:40])
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := DecodeTable(data)
+		if err != nil {
+			return
+		}
+		if tab.NumPivots() == 0 || len(tab.MinD) != tab.NumPivots() || len(tab.MaxD) != tab.NumPivots() {
+			t.Fatalf("accepted table with inconsistent shape: %+v", tab)
+		}
+		re, err := EncodeTable(tab)
+		if err != nil {
+			t.Fatalf("accepted table does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("decode/encode round trip is not the identity")
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Persistent pivot-table format.
+//
+// A pivot table is persisted next to the dataset it was computed from, in
+// one self-describing record with a trailing CRC-32C (the same discipline
+// as the page records of internal/store):
+//
+//	offset  size   field
+//	0       4      magic "MDPV"
+//	4       4      version (1)
+//	8       8      dataset generation (int64) the table was built from
+//	16      8      item count (uint64)
+//	24      4      pivot count k (uint32)
+//	28      4      page count g (uint32)
+//	32      4      dimensionality d (uint32)
+//	36      4      metric name length L (uint32)
+//	40      L      metric name (UTF-8)
+//	…       k*8d   pivot vectors (float64 bit patterns, pivot-major)
+//	…       k*8g   per-page minima  MinD (float64, pivot-major)
+//	…       k*8g   per-page maxima  MaxD (float64, pivot-major)
+//	…       4      CRC-32C (Castagnoli) over bytes [0, len-4)
+//
+// Writes are crash-safe: the record goes to a temporary name, is fsynced,
+// atomically renamed over TableFileName, and the directory is fsynced — a
+// crash leaves the old table or the new one, never a torn file. A reader
+// that finds no table, a corrupt table, or a table whose generation, metric
+// or shape disagree with the live manifest simply rebuilds; the persisted
+// table is a pure cache of a deterministic construction.
+package pivot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"unicode/utf8"
+
+	"metricdb/internal/vec"
+)
+
+const (
+	// TableFileName is the persisted table's name inside a dataset
+	// directory.
+	TableFileName = "pivots.dat"
+	// tableTmpName is the staging name used before the atomic rename.
+	tableTmpName = "pivots.dat.tmp"
+
+	tableMagic   = uint32('M') | uint32('D')<<8 | uint32('P')<<16 | uint32('V')<<24
+	tableVersion = 1
+	// tableHeaderLen is the fixed prefix before the metric name.
+	tableHeaderLen = 40
+	// tableTrailerLen is the trailing checksum.
+	tableTrailerLen = 4
+	// Decode bounds: a corrupt header must not drive a huge allocation.
+	maxTablePivots     = 1 << 16
+	maxTablePages      = 1 << 24
+	maxTableDim        = 1 << 20
+	maxTableMetricName = 1 << 10
+)
+
+// ErrCorruptTable marks a persisted pivot table whose bytes fail
+// validation; callers treat it as "no table" and rebuild.
+var ErrCorruptTable = errors.New("pivot: corrupt table record")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeTable serializes the table.
+func EncodeTable(t *Table) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("pivot: encode of nil table")
+	}
+	k := len(t.Pivots)
+	g := t.NumPages()
+	if k == 0 {
+		return nil, fmt.Errorf("pivot: encode of table with no pivots")
+	}
+	if len(t.MetricName) > maxTableMetricName {
+		return nil, fmt.Errorf("pivot: metric name of %d bytes exceeds format maximum", len(t.MetricName))
+	}
+	size := tableHeaderLen + len(t.MetricName) + k*8*t.Dim + 2*k*8*g + tableTrailerLen
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, tableMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, tableVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Generation))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Items))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.MetricName)))
+	buf = append(buf, t.MetricName...)
+	for _, pv := range t.Pivots {
+		if pv.Dim() != t.Dim {
+			return nil, fmt.Errorf("pivot: pivot of dimension %d in table of dimension %d", pv.Dim(), t.Dim)
+		}
+		for _, c := range pv {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
+		}
+	}
+	for _, rows := range [][][]float64{t.MinD, t.MaxD} {
+		if len(rows) != k {
+			return nil, fmt.Errorf("pivot: table has %d aggregate rows for %d pivots", len(rows), k)
+		}
+		for _, row := range rows {
+			if len(row) != g {
+				return nil, fmt.Errorf("pivot: aggregate row of %d pages in table of %d", len(row), g)
+			}
+			for _, d := range row {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d))
+			}
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+// DecodeTable deserializes a table record, verifying structure and the
+// checksum. It never panics on arbitrary input: every length is validated
+// against the actual data size before any allocation, and all failures
+// return an error wrapping ErrCorruptTable.
+func DecodeTable(data []byte) (*Table, error) {
+	if len(data) < tableHeaderLen+tableTrailerLen {
+		return nil, fmt.Errorf("%w: record of %d bytes is shorter than the %d-byte envelope",
+			ErrCorruptTable, len(data), tableHeaderLen+tableTrailerLen)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != tableMagic {
+		return nil, fmt.Errorf("%w: bad magic %#08x", ErrCorruptTable, m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != tableVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptTable, v)
+	}
+	gen := int64(binary.LittleEndian.Uint64(data[8:16]))
+	items := binary.LittleEndian.Uint64(data[16:24])
+	k := binary.LittleEndian.Uint32(data[24:28])
+	g := binary.LittleEndian.Uint32(data[28:32])
+	dim := binary.LittleEndian.Uint32(data[32:36])
+	nameLen := binary.LittleEndian.Uint32(data[36:40])
+	if gen < 0 || items > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible provenance (generation %d, items %d)", ErrCorruptTable, gen, items)
+	}
+	if k == 0 || k > maxTablePivots || g > maxTablePages || dim > maxTableDim || nameLen > maxTableMetricName {
+		return nil, fmt.Errorf("%w: implausible header (pivots %d, pages %d, dim %d, name %d)",
+			ErrCorruptTable, k, g, dim, nameLen)
+	}
+	want := uint64(tableHeaderLen) + uint64(nameLen) + uint64(k)*8*uint64(dim) +
+		2*uint64(k)*8*uint64(g) + tableTrailerLen
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("%w: record is %d bytes, header implies %d", ErrCorruptTable, len(data), want)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(data)-tableTrailerLen:])
+	if got := crc32.Checksum(data[:len(data)-tableTrailerLen], castagnoli); got != sum {
+		return nil, fmt.Errorf("%w: checksum %#08x, record claims %#08x", ErrCorruptTable, got, sum)
+	}
+	name := string(data[tableHeaderLen : tableHeaderLen+int(nameLen)])
+	if !utf8.ValidString(name) {
+		return nil, fmt.Errorf("%w: metric name is not valid UTF-8", ErrCorruptTable)
+	}
+	t := &Table{
+		MetricName: name,
+		Generation: gen,
+		Items:      int(items),
+		Dim:        int(dim),
+		Pivots:     make([]vec.Vector, k),
+		MinD:       make([][]float64, k),
+		MaxD:       make([][]float64, k),
+	}
+	off := tableHeaderLen + int(nameLen)
+	for p := range t.Pivots {
+		pv := make(vec.Vector, dim)
+		for d := range pv {
+			pv[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		t.Pivots[p] = pv
+	}
+	for _, rows := range []([][]float64){t.MinD, t.MaxD} {
+		for p := range rows {
+			row := make([]float64, g)
+			for i := range row {
+				row[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+				off += 8
+			}
+			rows[p] = row
+		}
+	}
+	// Aggregates must be ordered (min ≤ max) and not NaN — a NaN bound
+	// would silently disable pruning comparisons.
+	for p := 0; p < int(k); p++ {
+		for i := 0; i < int(g); i++ {
+			lo, hi := t.MinD[p][i], t.MaxD[p][i]
+			if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+				return nil, fmt.Errorf("%w: aggregate [%d][%d] is [%v, %v]", ErrCorruptTable, p, i, lo, hi)
+			}
+		}
+	}
+	return t, nil
+}
+
+// WriteTableFile persists the table into dir crash-safely: staged write,
+// fsync, atomic rename, directory fsync.
+func WriteTableFile(dir string, t *Table) error {
+	body, err := EncodeTable(t)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, tableTmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("pivot: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // double close of *os.File is harmless
+	if _, err := f.Write(body); err != nil {
+		return fmt.Errorf("pivot: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("pivot: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pivot: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, TableFileName)); err != nil {
+		return fmt.Errorf("pivot: publish table: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("pivot: %w", err)
+	}
+	defer d.Close() //nolint:errcheck
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("pivot: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// LoadTableFile reads the persisted table of dir. A missing file returns
+// os.ErrNotExist (wrapped); a corrupt one returns ErrCorruptTable. Callers
+// treat both as "rebuild".
+func LoadTableFile(dir string) (*Table, error) {
+	data, err := os.ReadFile(filepath.Join(dir, TableFileName))
+	if err != nil {
+		return nil, fmt.Errorf("pivot: %w", err)
+	}
+	return DecodeTable(data)
+}

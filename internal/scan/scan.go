@@ -139,10 +139,18 @@ func NewFromPager(pager *store.Pager, numItems int) (*Engine, error) {
 // Name returns "scan".
 func (e *Engine) Name() string { return "scan" }
 
+// Prepare returns the per-query handle. A scan has no per-query state, so
+// the handle is a stateless view of the engine.
+func (e *Engine) Prepare(vec.Vector) engine.PreparedQuery { return prepared{e} }
+
+// prepared is the scan's PreparedQuery: geometry-free, so every probe is
+// answered from the engine alone.
+type prepared struct{ e *Engine }
+
 // Plan returns every data page in physical order with lower bound 0: a scan
 // can exclude nothing, so all pages are relevant regardless of queryDist.
-func (e *Engine) Plan(_ vec.Vector, _ float64) []engine.PageRef {
-	refs := make([]engine.PageRef, e.pager.NumPages())
+func (p prepared) Plan(_ float64) []engine.PageRef {
+	refs := make([]engine.PageRef, p.e.pager.NumPages())
 	for i := range refs {
 		refs[i] = engine.PageRef{ID: store.PageID(i)}
 	}
@@ -150,10 +158,10 @@ func (e *Engine) Plan(_ vec.Vector, _ float64) []engine.PageRef {
 }
 
 // MinDist returns 0: the scan has no geometric knowledge of page contents.
-func (e *Engine) MinDist(vec.Vector, store.PageID) float64 { return 0 }
+func (prepared) MinDist(store.PageID) float64 { return 0 }
 
 // MaxDist returns +Inf: the scan cannot bound page contents.
-func (e *Engine) MaxDist(vec.Vector, store.PageID) float64 { return math.Inf(1) }
+func (prepared) MaxDist(store.PageID) float64 { return math.Inf(1) }
 
 // PageLen returns the number of items on the page.
 func (e *Engine) PageLen(pid store.PageID) int { return e.pageLens[pid] }

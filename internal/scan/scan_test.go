@@ -40,7 +40,7 @@ func TestPlanCoversAllPagesInPhysicalOrder(t *testing.T) {
 	if e.NumPages() != 4 || e.NumItems() != 10 {
 		t.Errorf("NumPages=%d NumItems=%d", e.NumPages(), e.NumItems())
 	}
-	plan := e.Plan(vec.Vector{5, 5}, 0.001) // queryDist is irrelevant to a scan
+	plan := e.Prepare(vec.Vector{5, 5}).Plan(0.001) // queryDist is irrelevant to a scan
 	if len(plan) != 4 {
 		t.Fatalf("plan has %d pages, want 4", len(plan))
 	}
@@ -52,7 +52,7 @@ func TestPlanCoversAllPagesInPhysicalOrder(t *testing.T) {
 			t.Errorf("plan[%d].MinDist = %v, want 0", i, ref.MinDist)
 		}
 	}
-	if got := e.MinDist(vec.Vector{9, 9}, 2); got != 0 {
+	if got := e.Prepare(vec.Vector{9, 9}).MinDist(2); got != 0 {
 		t.Errorf("MinDist = %v, want 0", got)
 	}
 }
@@ -62,7 +62,7 @@ func TestSequentialIOAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ref := range e.Plan(nil, math.Inf(1)) {
+	for _, ref := range e.Prepare(nil).Plan(math.Inf(1)) {
 		if _, err := e.ReadPage(ref.ID); err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func TestPageLenAndMaxDist(t *testing.T) {
 	if e.PageLen(0) != 2 || e.PageLen(2) != 1 {
 		t.Errorf("PageLen = %d / %d", e.PageLen(0), e.PageLen(2))
 	}
-	if !math.IsInf(e.MaxDist(vec.Vector{0, 0}, 0), 1) {
+	if !math.IsInf(e.Prepare(vec.Vector{0, 0}).MaxDist(0), 1) {
 		t.Error("scan MaxDist should be +Inf")
 	}
 }

@@ -55,7 +55,7 @@ func BenchmarkPlan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		refs := e.Plan(q, 0.4)
+		refs := e.Prepare(q).Plan(0.4)
 		benchSinkRefs = len(refs)
 	}
 }

@@ -67,6 +67,9 @@ type Engine struct {
 	bounds   [][]float64 // per dimension: cells+1 boundaries
 	pages    []pageApprox
 	numItems int
+	// pageCapacity is the resolved build-time page capacity, kept for
+	// EXPLAIN output.
+	pageCapacity int
 }
 
 // pageApprox holds the in-memory approximations of one data page.
@@ -132,12 +135,13 @@ func New(items []store.Item, cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		pager:    pager,
-		metric:   cfg.Metric,
-		dim:      dim,
-		bits:     cfg.Bits,
-		cells:    1 << cfg.Bits,
-		numItems: len(items),
+		pager:        pager,
+		metric:       cfg.Metric,
+		dim:          dim,
+		bits:         cfg.Bits,
+		cells:        1 << cfg.Bits,
+		numItems:     len(items),
+		pageCapacity: cfg.PageCapacity,
 	}
 	e.base = vec.BaseMetric(cfg.Metric)
 	if cw, ok := e.base.(vec.Coordinatewise); ok && cw.CoordinatewiseMetric() {
@@ -261,17 +265,42 @@ func (e *Engine) itemUpperBound(q vec.Vector, pi store.PageID, it int, scratch, 
 // Name returns "vafile".
 func (e *Engine) Name() string { return "vafile" }
 
+// Describe reports the approximation resolution for EXPLAIN output.
+func (e *Engine) Describe() engine.Config {
+	return engine.Config{PageCapacity: e.pageCapacity, Bits: e.bits}
+}
+
+// Prepare returns the per-query handle. The handle owns the per-dimension
+// scratch vectors that the cell-bound arithmetic needs, so a query pays the
+// two allocations once instead of on every page probe.
+func (e *Engine) Prepare(q vec.Vector) engine.PreparedQuery {
+	return &prepared{
+		e:       e,
+		q:       q,
+		scratch: make(vec.Vector, e.dim),
+		zero:    make(vec.Vector, e.dim),
+	}
+}
+
+// prepared answers page probes for one query against the in-memory
+// approximation array.
+type prepared struct {
+	e       *Engine
+	q       vec.Vector
+	scratch vec.Vector
+	zero    vec.Vector
+}
+
 // Plan performs the approximation scan (phase 1 of VA-file query
 // processing): every page whose best item lower bound is within queryDist
 // becomes a candidate, ordered by ascending lower bound so that k-NN
 // processing can stop early, exactly like an index plan.
-func (e *Engine) Plan(q vec.Vector, queryDist float64) []engine.PageRef {
-	scratch := make(vec.Vector, e.dim)
-	zero := make(vec.Vector, e.dim)
+func (p *prepared) Plan(queryDist float64) []engine.PageRef {
+	e := p.e
 	refs := make([]engine.PageRef, 0, len(e.pages))
 	for pi := range e.pages {
 		pid := store.PageID(pi)
-		lb := e.pageLowerBound(q, pid, scratch, zero)
+		lb := e.pageLowerBound(p.q, pid, p.scratch, p.zero)
 		if lb <= queryDist {
 			refs = append(refs, engine.PageRef{ID: pid, MinDist: lb})
 		}
@@ -308,24 +337,21 @@ func (e *Engine) pageLowerBound(q vec.Vector, pid store.PageID, scratch, zero ve
 }
 
 // MinDist returns the page's approximation lower bound.
-func (e *Engine) MinDist(q vec.Vector, pid store.PageID) float64 {
-	scratch := make(vec.Vector, e.dim)
-	zero := make(vec.Vector, e.dim)
-	return e.pageLowerBound(q, pid, scratch, zero)
+func (p *prepared) MinDist(pid store.PageID) float64 {
+	return p.e.pageLowerBound(p.q, pid, p.scratch, p.zero)
 }
 
 // MaxDist returns an upper bound on the distance from q to any item on the
 // page (the maximum item upper bound).
-func (e *Engine) MaxDist(q vec.Vector, pid store.PageID) float64 {
+func (p *prepared) MaxDist(pid store.PageID) float64 {
+	e := p.e
 	if !e.cw {
 		return math.Inf(1)
 	}
-	scratch := make(vec.Vector, e.dim)
-	zero := make(vec.Vector, e.dim)
 	pa := &e.pages[pid]
 	worst := 0.0
 	for it := 0; it < pa.n; it++ {
-		if ub := e.itemUpperBound(q, pid, it, scratch, zero); ub > worst {
+		if ub := e.itemUpperBound(p.q, pid, it, p.scratch, p.zero); ub > worst {
 			worst = ub
 		}
 	}

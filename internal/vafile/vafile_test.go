@@ -74,8 +74,9 @@ func TestBoundsSafety(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			pageLB := e.MinDist(q, store.PageID(pid))
-			pageUB := e.MaxDist(q, store.PageID(pid))
+			pq := e.Prepare(q)
+			pageLB := pq.MinDist(store.PageID(pid))
+			pageUB := pq.MaxDist(store.PageID(pid))
 			for it := range p.Items {
 				d := m.Distance(q, p.Items[it].Vec)
 				lb := e.itemLowerBound(q, store.PageID(pid), it, scratch, zero)
@@ -170,7 +171,7 @@ func TestVAFileIsSelective(t *testing.T) {
 	}
 
 	// Plan ordering is ascending by lower bound.
-	plan := va.Plan(vec.Vector{0.1, 0.9, 0.5, 0.2}, math.Inf(1))
+	plan := va.Prepare(vec.Vector{0.1, 0.9, 0.5, 0.2}).Plan(math.Inf(1))
 	if !sort.SliceIsSorted(plan, func(i, j int) bool { return plan[i].MinDist <= plan[j].MinDist }) {
 		t.Error("plan not sorted by lower bound")
 	}
@@ -237,10 +238,10 @@ func TestNonCoordinatewiseDegradesToScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(va.Plan(items[0].Vec, 0.01)); got != va.NumPages() {
+	if got := len(va.Prepare(items[0].Vec).Plan(0.01)); got != va.NumPages() {
 		t.Errorf("quadratic-form plan covers %d of %d pages", got, va.NumPages())
 	}
-	if !math.IsInf(va.MaxDist(items[0].Vec, 0), 1) {
+	if !math.IsInf(va.Prepare(items[0].Vec).MaxDist(0), 1) {
 		t.Error("MaxDist not +Inf for non-coordinatewise metric")
 	}
 

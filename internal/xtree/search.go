@@ -16,17 +16,31 @@ var _ engine.Engine = (*Tree)(nil)
 // Name returns "xtree".
 func (t *Tree) Name() string { return "xtree" }
 
+// Prepare returns the per-query handle. MBR bounds are cheap enough to
+// compute per probe, so the handle only pins the query vector.
+func (t *Tree) Prepare(q vec.Vector) engine.PreparedQuery {
+	t.mustBeBuilt()
+	return &prepared{t: t, q: q}
+}
+
+// prepared answers page probes for one query against the memory-resident
+// directory.
+type prepared struct {
+	t *Tree
+	q vec.Vector
+}
+
 // Plan traverses the memory-resident directory and returns every data page
 // whose lower-bound distance to q does not exceed queryDist, in ascending
 // lower-bound order (the Hjaltason–Samet page schedule). For a k-NN query
 // the caller passes queryDist = +Inf and prunes while consuming the plan as
 // its answer list tightens.
-func (t *Tree) Plan(q vec.Vector, queryDist float64) []engine.PageRef {
-	t.mustBeBuilt()
+func (p *prepared) Plan(queryDist float64) []engine.PageRef {
+	t := p.t
 	var refs []engine.PageRef
 	var walk func(n *node)
 	walk = func(n *node) {
-		b := geom.LowerBound(t.cfg.Metric, n.rect, q)
+		b := geom.LowerBound(t.cfg.Metric, n.rect, p.q)
 		if b > queryDist {
 			return
 		}
@@ -50,16 +64,19 @@ func (t *Tree) Plan(q vec.Vector, queryDist float64) []engine.PageRef {
 
 // MinDist returns the lower bound on the distance from q to any item on
 // data page pid.
-func (t *Tree) MinDist(q vec.Vector, pid store.PageID) float64 {
-	t.mustBeBuilt()
-	return geom.LowerBound(t.cfg.Metric, t.leafRects[pid], q)
+func (p *prepared) MinDist(pid store.PageID) float64 {
+	return geom.LowerBound(p.t.cfg.Metric, p.t.leafRects[pid], p.q)
 }
 
 // MaxDist returns the upper bound (MAXDIST of the page MBR) on the distance
 // from q to any item on data page pid.
-func (t *Tree) MaxDist(q vec.Vector, pid store.PageID) float64 {
-	t.mustBeBuilt()
-	return geom.UpperBound(t.cfg.Metric, t.leafRects[pid], q)
+func (p *prepared) MaxDist(pid store.PageID) float64 {
+	return geom.UpperBound(p.t.cfg.Metric, p.t.leafRects[pid], p.q)
+}
+
+// Describe reports the directory tuning for EXPLAIN output.
+func (t *Tree) Describe() engine.Config {
+	return engine.Config{PageCapacity: t.cfg.LeafCapacity, Fanout: t.cfg.DirFanout}
 }
 
 // PageLen returns the number of items on data page pid.

@@ -94,7 +94,7 @@ func TestQueryBeforeBuildPanics(t *testing.T) {
 			t.Fatal("expected panic when querying an unbuilt tree")
 		}
 	}()
-	tr.Plan(vec.Vector{0, 0}, 1)
+	tr.Prepare(vec.Vector{0, 0}).Plan(1)
 }
 
 func TestTreeShape(t *testing.T) {
@@ -197,9 +197,9 @@ func TestPlanCoversRangeQueries(t *testing.T) {
 		want := bruteRange(items, m, q, eps)
 
 		planned := make(map[store.PageID]bool)
-		for _, ref := range tr.Plan(q, eps) {
+		for _, ref := range tr.Prepare(q).Plan(eps) {
 			planned[ref.ID] = true
-			if tr.MinDist(q, ref.ID) != ref.MinDist {
+			if tr.Prepare(q).MinDist(ref.ID) != ref.MinDist {
 				t.Fatalf("MinDist(%d) inconsistent with plan", ref.ID)
 			}
 		}
@@ -235,7 +235,7 @@ func TestPlanIsSortedAndSelective(t *testing.T) {
 	}
 	q := vec.Vector{0.5, 0.5, 0.5}
 
-	all := tr.Plan(q, math.Inf(1))
+	all := tr.Prepare(q).Plan(math.Inf(1))
 	if len(all) != tr.NumPages() {
 		t.Errorf("unbounded plan has %d pages, want all %d", len(all), tr.NumPages())
 	}
@@ -243,7 +243,7 @@ func TestPlanIsSortedAndSelective(t *testing.T) {
 		t.Error("plan not sorted by MinDist")
 	}
 
-	small := tr.Plan(q, 0.05)
+	small := tr.Prepare(q).Plan(0.05)
 	if len(small) >= len(all) {
 		t.Errorf("tight range query planned %d of %d pages — no selectivity in 3-d", len(small), len(all))
 	}
@@ -268,7 +268,7 @@ func TestNonCoordinatewiseMetricLosesSelectivity(t *testing.T) {
 	}
 	// All bounds are zero: the plan must include every page (scan
 	// degeneration, safe but unselective).
-	if got := len(tr.Plan(vec.Vector{0, 0, 0, 0}, 0.01)); got != tr.NumPages() {
+	if got := len(tr.Prepare(vec.Vector{0, 0, 0, 0}).Plan(0.01)); got != tr.NumPages() {
 		t.Errorf("quadratic-form plan covers %d of %d pages", got, tr.NumPages())
 	}
 }
@@ -307,7 +307,7 @@ func TestLeafRectsContainItemsProperty(t *testing.T) {
 				return false
 			}
 			for _, it := range p.Items {
-				if tr.MinDist(it.Vec, store.PageID(pid)) != 0 {
+				if tr.Prepare(it.Vec).MinDist(store.PageID(pid)) != 0 {
 					return false
 				}
 			}
@@ -405,7 +405,7 @@ func TestBulkSTRMatchesBruteForce(t *testing.T) {
 				t.Fatalf("item %d duplicated", it.ID)
 			}
 			seen[it.ID] = true
-			if tr.MinDist(it.Vec, store.PageID(pid)) != 0 {
+			if tr.Prepare(it.Vec).MinDist(store.PageID(pid)) != 0 {
 				t.Fatalf("item %d outside its page MBR", it.ID)
 			}
 		}
@@ -421,7 +421,7 @@ func TestBulkSTRMatchesBruteForce(t *testing.T) {
 		eps := 0.2 + rng.Float64()*0.2
 		want := bruteRange(items, m, q, eps)
 		got := 0
-		for _, ref := range tr.Plan(q, eps) {
+		for _, ref := range tr.Prepare(q).Plan(eps) {
 			p, err := tr.ReadPage(ref.ID)
 			if err != nil {
 				t.Fatal(err)
@@ -519,7 +519,7 @@ func TestForcedReinsertion(t *testing.T) {
 		q := uniformItems(rng, 1, 4)[0].Vec
 		want := len(bruteRange(items, m, q, 0.25))
 		got := 0
-		for _, ref := range reins.Plan(q, 0.25) {
+		for _, ref := range reins.Prepare(q).Plan(0.25) {
 			p, err := reins.ReadPage(ref.ID)
 			if err != nil {
 				t.Fatal(err)
@@ -574,7 +574,7 @@ func TestOverlapFreeSplitUsesHistory(t *testing.T) {
 	q := items[123].Vec
 	want := len(bruteRange(items, m, q, 0.4))
 	got := 0
-	for _, ref := range tr.Plan(q, 0.4) {
+	for _, ref := range tr.Prepare(q).Plan(0.4) {
 		p, err := tr.ReadPage(ref.ID)
 		if err != nil {
 			t.Fatal(err)

@@ -8,11 +8,11 @@ import (
 
 	"metricdb/internal/dataset"
 	"metricdb/internal/engine"
+	"metricdb/internal/engines"
 	"metricdb/internal/msq"
+	"metricdb/internal/pivot"
 	"metricdb/internal/scan"
 	"metricdb/internal/store"
-	"metricdb/internal/vafile"
-	"metricdb/internal/xtree"
 )
 
 // OpenStored opens a database over a persistent dataset directory — the
@@ -27,9 +27,13 @@ import (
 //   - EngineScan serves the dataset's own page layout directly, so opening
 //     is free of page reads (sizes come from the manifest) and the scan's
 //     sequential-I/O property holds on the physical file.
-//   - EngineXTree and EngineVAFile build their structure from the loaded
-//     items, then persist their private page layout into a "layout-xtree"
-//     or "layout-vafile" subdirectory (rebuilt, crash-safely, on every
+//   - EnginePivot also serves the dataset's own pages; its pivot table is
+//     loaded from the dataset directory (pivots.dat) when one matching the
+//     manifest's generation, metric, and shape is present, and otherwise
+//     rebuilt from the items and persisted crash-safely for the next open.
+//   - EngineXTree, EngineVAFile and EnginePMTree build their structure
+//     from the loaded items, then persist their private page layout into a
+//     "layout-<engine>" subdirectory (rebuilt, crash-safely, on every
 //     open) and read data pages from it.
 //
 // The caller owns the returned DB and must Close it to release the
@@ -50,12 +54,10 @@ func OpenStored(dir string, opts Options) (*DB, error) {
 
 	var db *DB
 	switch opts.Engine {
-	case EngineScan:
-		db, err = openStoredScan(dir, items, dim, opts, bufferPages)
-	case EngineXTree, EngineVAFile:
-		db, err = openStoredDerived(dir, items, dim, opts, bufferPages)
+	case EngineScan, EnginePivot:
+		db, err = openStoredDirect(dir, items, dim, opts, bufferPages)
 	default:
-		return nil, fmt.Errorf("metricdb: unknown engine %q", opts.Engine)
+		db, err = openStoredDerived(dir, items, dim, opts, bufferPages)
 	}
 	if err != nil {
 		return nil, err
@@ -63,9 +65,10 @@ func OpenStored(dir string, opts Options) (*DB, error) {
 	return db, nil
 }
 
-// openStoredScan serves the dataset's own pages through a FileDisk: the
-// stored layout is the scan layout.
-func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages int) (*DB, error) {
+// openStoredDirect serves the dataset's own pages through a FileDisk — the
+// stored layout is the engine's layout. The scan uses it as-is; the pivot
+// engine additionally loads (or rebuilds and persists) its pivot table.
+func openStoredDirect(dir string, items []Item, dim int, opts Options, bufferPages int) (*DB, error) {
 	fd, err := store.OpenFileDisk(dir, store.FileDiskOptions{Mmap: opts.Mmap})
 	if err != nil {
 		return nil, fmt.Errorf("metricdb: %w", err)
@@ -107,10 +110,26 @@ func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages
 	for i, e := range man.Pages {
 		lens[i] = e.Items
 	}
-	eng, err := scan.NewStored(pager, man.Items, lens)
-	if err != nil {
-		fd.Close() //nolint:errcheck
-		return nil, fmt.Errorf("metricdb: %w", err)
+
+	var eng engine.Engine
+	switch opts.Engine {
+	case EnginePivot:
+		table, err := storedPivotTable(dir, items, man, lens, opts)
+		if err != nil {
+			fd.Close() //nolint:errcheck
+			return nil, err
+		}
+		eng, err = pivot.NewStored(pager, table, opts.Metric, man.Items, lens, man.PageCapacity)
+		if err != nil {
+			fd.Close() //nolint:errcheck
+			return nil, fmt.Errorf("metricdb: %w", err)
+		}
+	default:
+		eng, err = scan.NewStored(pager, man.Items, lens)
+		if err != nil {
+			fd.Close() //nolint:errcheck
+			return nil, fmt.Errorf("metricdb: %w", err)
+		}
 	}
 	// The stored layout dictates the page capacity; reflect it in the
 	// options so DB introspection reports the truth.
@@ -126,6 +145,36 @@ func openStoredScan(dir string, items []Item, dim int, opts Options, bufferPages
 		return nil, err
 	}
 	return &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts, closers: []io.Closer{fd}}, nil
+}
+
+// storedPivotTable returns the dataset's pivot table: the persisted one
+// when its provenance (generation, metric, shape, pivot count) matches the
+// live manifest, and otherwise a fresh deterministic rebuild, persisted
+// crash-safely so the next open skips the distance matrix. A missing or
+// corrupt table file is not an error — the table is a pure cache.
+func storedPivotTable(dir string, items []Item, man *store.Manifest, lens []int, opts Options) (*pivot.Table, error) {
+	want := pivot.DefaultPivots
+	if opts.Pivot != nil && opts.Pivot.Pivots > 0 {
+		want = opts.Pivot.Pivots
+	}
+	if want > len(items) {
+		want = len(items)
+	}
+	if t, err := pivot.LoadTableFile(dir); err == nil {
+		if t.Generation == man.Generation && t.NumPivots() == want &&
+			t.CheckShape(opts.Metric.Name(), man.Items, len(man.Pages)) == nil {
+			return t, nil
+		}
+	}
+	t, err := pivot.BuildTable(items, lens, want, opts.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("metricdb: %w", err)
+	}
+	t.Generation = man.Generation
+	if err := pivot.WriteTableFile(dir, t); err != nil {
+		return nil, fmt.Errorf("metricdb: persisting pivot table: %w", err)
+	}
+	return t, nil
 }
 
 // openStoredDerived builds an index engine from the loaded items and
@@ -175,38 +224,7 @@ func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPa
 		return fd, nil
 	}
 
-	var eng engine.Engine
-	switch opts.Engine {
-	case EngineXTree:
-		cfg := xtree.DefaultConfig(dim)
-		cfg.LeafCapacity = opts.PageCapacity
-		cfg.BufferPages = bufferPages
-		cfg.Metric = opts.Metric
-		cfg.WrapDisk = wrap
-		cfg.Columns = columns
-		if x := opts.XTree; x != nil {
-			if x.DirFanout != 0 {
-				cfg.DirFanout = x.DirFanout
-			}
-			cfg.MaxOverlap = x.MaxOverlap
-			cfg.MinFillRatio = x.MinFillRatio
-			cfg.ReinsertFraction = x.ReinsertFraction
-		}
-		if opts.XTree != nil && opts.XTree.STRBulkLoad {
-			eng, err = xtree.BulkSTR(items, dim, cfg)
-		} else {
-			eng, err = xtree.Bulk(items, dim, cfg)
-		}
-	case EngineVAFile:
-		eng, err = vafile.New(items, vafile.Config{
-			Bits:         opts.VAFileBits,
-			PageCapacity: opts.PageCapacity,
-			BufferPages:  bufferPages,
-			Metric:       opts.Metric,
-			WrapDisk:     wrap,
-			Columns:      columns,
-		})
-	}
+	eng, err := engines.Build(opts.engineSpec(items, dim, bufferPages, columns, wrap))
 	if err != nil {
 		if fd != nil {
 			fd.Close() //nolint:errcheck

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"metricdb/internal/dataset"
+	"metricdb/internal/pivot"
 )
 
 func storedDir(t *testing.T, seed int64, n, dim, capacity int) string {
@@ -46,7 +47,7 @@ func TestOpenStoredMatchesOpen(t *testing.T) {
 		{ID: 3, Vec: point(), Type: KNNQuery(3)},
 	}
 
-	for _, kind := range []EngineKind{EngineScan, EngineXTree, EngineVAFile} {
+	for _, kind := range []EngineKind{EngineScan, EngineXTree, EngineVAFile, EnginePivot, EnginePMTree} {
 		for _, mmap := range []bool{false, true} {
 			t.Run(fmt.Sprintf("%s/mmap=%v", kind, mmap), func(t *testing.T) {
 				opts := Options{Engine: kind, PageCapacity: capacity, BufferPages: 4}
@@ -98,7 +99,11 @@ func TestOpenStoredMatchesOpen(t *testing.T) {
 						}
 					}
 				}
-				if storedStats != memStats {
+				// The pivot engine is the one kind whose stored layout
+				// differs from its in-memory one (Open lays pages out in
+				// pivot order, OpenStored serves the dataset's sequential
+				// pages), so its pruning statistics legitimately diverge.
+				if kind != EnginePivot && storedStats != memStats {
 					t.Errorf("stats differ:\n  mem:    %+v\n  stored: %+v", memStats, storedStats)
 				}
 				if kind == EngineScan && stored.IOStats() != mem.IOStats() {
@@ -146,6 +151,93 @@ func TestOpenStoredDerivedLayout(t *testing.T) {
 	defer db.Close() //nolint:errcheck
 	if ans, _, err := db.Query(Vector{0.5, 0.5, 0.5}, KNNQuery(5)); err != nil || len(ans) != 5 {
 		t.Fatalf("query after reopen: %d answers, %v", len(ans), err)
+	}
+}
+
+// TestOpenStoredPivotTablePersistence: the first pivot open computes the
+// distance matrix and persists the table; later opens load it back without
+// a single build distance calculation, and a stale or corrupt table is
+// silently rebuilt.
+func TestOpenStoredPivotTablePersistence(t *testing.T) {
+	dir := storedDir(t, 91, 200, 4, 16)
+	opts := Options{Engine: EnginePivot, Pivot: &PivotOptions{Pivots: 8}, BufferPages: 4}
+
+	db, err := OpenStored(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1, ok := db.eng.(*pivot.Engine)
+	if !ok {
+		t.Fatalf("stored pivot DB built a %T", db.eng)
+	}
+	if eng1.Table().BuildDistCalcs == 0 {
+		t.Error("first open did not compute the distance matrix")
+	}
+	if _, err := os.Stat(filepath.Join(dir, pivot.TableFileName)); err != nil {
+		t.Fatalf("pivot table not persisted: %v", err)
+	}
+	ans1, _, err := db.Query(Vector{0.4, 0.6, 0.2, 0.8}, KNNQuery(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second open: the table comes from disk. A loaded table carries no
+	// BuildDistCalcs — the distance matrix was not recomputed.
+	db, err = OpenStored(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := db.eng.(*pivot.Engine)
+	if eng2.Table().BuildDistCalcs != 0 {
+		t.Errorf("second open recomputed the matrix (%d distance calculations)", eng2.Table().BuildDistCalcs)
+	}
+	if got, want := eng2.Table().NumPivots(), 8; got != want {
+		t.Errorf("loaded table has %d pivots, want %d", got, want)
+	}
+	ans2, _, err := db.Query(Vector{0.4, 0.6, 0.2, 0.8}, KNNQuery(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans1) != len(ans2) {
+		t.Fatalf("answers differ across opens: %d vs %d", len(ans1), len(ans2))
+	}
+	for i := range ans1 {
+		if ans1[i] != ans2[i] {
+			t.Fatalf("answer %d differs across opens: %+v vs %+v", i, ans1[i], ans2[i])
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different pivot count must not serve the stale table.
+	db, err = OpenStored(dir, Options{Engine: EnginePivot, Pivot: &PivotOptions{Pivots: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.eng.(*pivot.Engine).Table().NumPivots(); got != 4 {
+		t.Errorf("table has %d pivots after reopen with 4", got)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corruption is shrugged off with a rebuild.
+	if err := os.WriteFile(filepath.Join(dir, pivot.TableFileName), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err = OpenStored(dir, opts)
+	if err != nil {
+		t.Fatalf("corrupt table broke open: %v", err)
+	}
+	if db.eng.(*pivot.Engine).Table().BuildDistCalcs == 0 {
+		t.Error("corrupt table was not rebuilt")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
