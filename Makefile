@@ -64,6 +64,7 @@ bench:
 	go run ./cmd/msqbench -experiment storage
 	go run ./cmd/msqbench -experiment block
 	go run ./cmd/msqbench -experiment engines
+	go run ./cmd/msqbench -experiment advisor
 
 # Every benchmark in the repository, including the paper-figure suites.
 bench-all:
@@ -72,7 +73,8 @@ bench-all:
 # The regression gate: regenerate every BENCH_*.json artifact into a
 # scratch directory and diff it against the committed baseline with
 # benchcompare, failing on a >10% regression of any scale-free metric
-# (identity verdicts, speedups, avoidance counters, pages read). Raw
+# (identity verdicts, speedups, avoidance counters, pages read, and the
+# advisor's calibrated prediction error). Raw
 # wall-clock numbers are machine-dependent and are not compared;
 # speedups, being wall-clock ratios, are judged against a wider 50%
 # band: back-to-back runs of one binary on a busy single-core runner
@@ -89,6 +91,7 @@ bench-compare:
 	go run ./cmd/msqbench -experiment storage -storage-out .bench-fresh/BENCH_storage.json > /dev/null
 	go run ./cmd/msqbench -experiment block -block-out .bench-fresh/BENCH_block.json > /dev/null
 	go run ./cmd/msqbench -experiment engines -engines-out .bench-fresh/BENCH_engines.json > /dev/null
+	go run ./cmd/msqbench -experiment advisor -advisor-out .bench-fresh/BENCH_advisor.json > /dev/null
 	go run ./cmd/benchcompare -tolerance 0.10 -speedup-tolerance 0.50 \
 		BENCH_kernels.json .bench-fresh/BENCH_kernels.json \
 		BENCH_parallel_intra.json .bench-fresh/BENCH_parallel_intra.json \
@@ -97,4 +100,5 @@ bench-compare:
 		BENCH_load.json .bench-fresh/BENCH_load.json \
 		BENCH_storage.json .bench-fresh/BENCH_storage.json \
 		BENCH_block.json .bench-fresh/BENCH_block.json \
-		BENCH_engines.json .bench-fresh/BENCH_engines.json
+		BENCH_engines.json .bench-fresh/BENCH_engines.json \
+		BENCH_advisor.json .bench-fresh/BENCH_advisor.json

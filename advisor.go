@@ -34,6 +34,11 @@ type Advice struct {
 	// first, when the advice was computed for a concrete batch
 	// (AdviseBatch); nil for dataset-only advice.
 	Candidates []Candidate `json:"candidates,omitempty"`
+	// Calibrated holds the same candidates after the database's
+	// calibration recorder applied its learned per-engine correction
+	// factors, re-ranked by corrected total. Present only on DB.AdviseBatch
+	// with calibration enabled and at least one recorded sample.
+	Calibrated []Candidate `json:"calibrated,omitempty"`
 }
 
 // Advise estimates the dataset's intrinsic dimensionality and recommends a
@@ -120,17 +125,7 @@ func AdviseBatch(items []Item, queries []Query, opts Options, seed int64) (Advic
 	}
 	a.IntrinsicDim = intrinsic
 
-	shape := cost.BatchShape{
-		Queries:      len(queries),
-		Items:        len(items),
-		PageCapacity: opts.PageCapacity,
-		IntrinsicDim: intrinsic,
-		MeanK:        batchMeanK(queries, len(items)),
-		Selectivity:  batchRangeSelectivity(items, queries, opts.Metric),
-	}
-	if opts.Pivot != nil {
-		shape.Pivots = opts.Pivot.Pivots
-	}
+	shape := batchShape(items, queries, opts, intrinsic)
 	cands, err := cost.PaperModel(dim).EstimateBatch(shape)
 	if err != nil {
 		return Advice{}, fmt.Errorf("metricdb: %w", err)
@@ -142,10 +137,40 @@ func AdviseBatch(items []Item, queries []Query, opts Options, seed int64) (Advic
 	return a, nil
 }
 
+// batchShape assembles the cost model's input for one batch: its width,
+// the dataset's size/paging, the intrinsic-dimension estimate, and the
+// batch's measured or modeled selectivity. The calibration recorder uses
+// the same helper, so recorded predictions are the predictions AdviseBatch
+// would have served.
+func batchShape(items []Item, queries []Query, opts Options, intrinsic float64) cost.BatchShape {
+	shape := cost.BatchShape{
+		Queries:      len(queries),
+		Items:        len(items),
+		PageCapacity: opts.PageCapacity,
+		IntrinsicDim: intrinsic,
+		MeanK:        batchMeanK(queries, len(items)),
+		Selectivity:  batchRangeSelectivity(items, queries, opts.Metric),
+	}
+	if opts.Pivot != nil {
+		shape.Pivots = opts.Pivot.Pivots
+	}
+	return shape
+}
+
 // AdviseBatch prices this database's own items, metric, and page capacity
-// against the batch. See the package-level AdviseBatch.
+// against the batch. See the package-level AdviseBatch. When the database
+// was opened with Options.Calibrate and has recorded at least one batch,
+// the advice additionally carries the calibrated ranking in
+// Advice.Calibrated.
 func (db *DB) AdviseBatch(queries []Query, seed int64) (Advice, error) {
-	return AdviseBatch(db.items, queries, db.opts, seed)
+	a, err := AdviseBatch(db.items, queries, db.opts, seed)
+	if err != nil {
+		return a, err
+	}
+	if db.calib != nil && db.calib.rec.Samples() > 0 {
+		a.Calibrated = db.calib.rec.Calibrate(a.Candidates)
+	}
+	return a, nil
 }
 
 // batchMeanK returns the mean answer cardinality of the batch's bounded

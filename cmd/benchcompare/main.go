@@ -10,10 +10,11 @@
 // metric by metric, keyed by JSON field name. Only scale-free metrics are
 // judged, so the comparison is meaningful across machines:
 //
-//   - identity verdicts ("identical", "stable"): a true-to-false flip is
-//     always a regression, tolerance does not apply;
-//   - work counters, lower is better ("pages_read", "dist_calcs"): fresh
-//     exceeding baseline by more than the tolerance is a regression;
+//   - identity verdicts ("identical", "stable", "improved"): a
+//     true-to-false flip is always a regression, tolerance does not apply;
+//   - work counters, lower is better ("pages_read", "dist_calcs",
+//     "mape_calibrated"): fresh exceeding baseline by more than the
+//     tolerance is a regression;
 //   - effectiveness metrics, higher is better ("speedup", "avoided",
 //     "partial_abandoned"): fresh falling short of baseline by more than
 //     the tolerance is a regression.
@@ -85,7 +86,7 @@ func compareFiles(basePath, freshPath string, tolerance, speedupTol float64) (re
 	if err != nil {
 		return nil, 0, err
 	}
-	c := &comparer{tolerance: tolerance, speedupTol: speedupTol}
+	c := &comparer{basePath: basePath, tolerance: tolerance, speedupTol: speedupTol}
 	c.walk("", base, fresh)
 	sort.Strings(c.regressions)
 	return c.regressions, c.compared, nil
@@ -130,22 +131,28 @@ func readJSON(path string) (any, error) {
 
 // Metric classification by JSON field name.
 var (
-	boolMetrics = map[string]bool{"identical": true, "stable": true}
+	boolMetrics = map[string]bool{"identical": true, "stable": true, "improved": true}
 	// higherWorse are work counters: doing more of this is a regression.
-	higherWorse = map[string]bool{"pages_read": true, "dist_calcs": true}
+	// mape_calibrated is the advisor experiment's calibrated prediction
+	// error — the quantity the calibration loop exists to shrink.
+	higherWorse = map[string]bool{"pages_read": true, "dist_calcs": true, "mape_calibrated": true}
 	// lowerWorse are effectiveness metrics: achieving less is a regression.
 	lowerWorse = map[string]bool{"speedup": true, "avoided": true, "partial_abandoned": true}
 )
 
 type comparer struct {
+	basePath    string
 	tolerance   float64
 	speedupTol  float64
 	compared    int
 	regressions []string
 }
 
+// fail records one regression line, prefixed with the baseline file and
+// the full metric path — each line must name the offending baseline and
+// key on its own, because CI logs interleave many pairs.
 func (c *comparer) fail(path, format string, args ...any) {
-	c.regressions = append(c.regressions, path+": "+fmt.Sprintf(format, args...))
+	c.regressions = append(c.regressions, c.basePath+" "+path+": "+fmt.Sprintf(format, args...))
 }
 
 // walk descends base and fresh in lockstep. Objects are matched by key,

@@ -128,3 +128,34 @@ func TestCompareIgnoresAddedFields(t *testing.T) {
 		t.Errorf("added fresh-only fields must not be judged, got %v", regressions)
 	}
 }
+
+// TestRegressionLinesNameBaselineAndKey: CI interleaves many pairs, so
+// every regression line must name its offending baseline file and the full
+// metric path on its own.
+func TestRegressionLinesNameBaselineAndKey(t *testing.T) {
+	base := write(t, "BENCH_advisor.json", `{"results":[{"engine":"scan","mape_calibrated":0.05,"improved":true}]}`)
+	fresh := write(t, "fresh.json", `{"results":[{"engine":"scan","mape_calibrated":0.50,"improved":false}]}`)
+	regressions, compared, err := compareFiles(base, fresh, 0.10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 {
+		t.Errorf("compared %d metrics, want 2 (improved + mape_calibrated)", compared)
+	}
+	if len(regressions) != 2 {
+		t.Fatalf("regressions = %v, want 2", regressions)
+	}
+	for _, r := range regressions {
+		if !strings.Contains(r, "BENCH_advisor.json") {
+			t.Errorf("regression line does not name the baseline file: %q", r)
+		}
+	}
+	var sawMape, sawImproved bool
+	for _, r := range regressions {
+		sawMape = sawMape || strings.Contains(r, "/results[0]/mape_calibrated")
+		sawImproved = sawImproved || strings.Contains(r, "/results[0]/improved")
+	}
+	if !sawMape || !sawImproved {
+		t.Errorf("regression lines missing metric paths: %v", regressions)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|block|obs|distobs|load|storage|engines]
+//	msqbench [-experiment all|micro|fig7|fig8|fig9|fig10|fig11|fig12|chaos|intra|kernels|block|obs|distobs|load|storage|engines|advisor]
 //	         [-scale small|medium|paper] [-csv dir] [-measure]
 //	         [-intra-out BENCH_parallel_intra.json]
 //	         [-kernels-out BENCH_kernels.json]
@@ -14,6 +14,7 @@
 //	         [-load-out BENCH_load.json]
 //	         [-storage-out BENCH_storage.json]
 //	         [-engines-out BENCH_engines.json]
+//	         [-advisor-out BENCH_advisor.json]
 //
 // The chaos experiment is not a paper figure: it declusters each workload
 // over 4 servers, injects disk faults into 0..3 of them, and reports the
@@ -79,6 +80,15 @@
 // 8, and writes the deterministic work counters (distance calculations,
 // pages read, pivot setup distances) to -engines-out as JSON.
 //
+// The advisor experiment evaluates the calibration loop: per engine and
+// dimensionality a calibrated database records predicted-vs-observed work
+// counters over a warmup, then fresh judged batches compare the raw cost
+// model's predictions against the calibrated ones. The run fails unless
+// calibration strictly improves the prediction error wherever the raw
+// model left any, and unless the calibrated database stayed bit-identical
+// to a plain reference on every judged batch. Results go to -advisor-out
+// as JSON.
+//
 // -measure calibrates the cost model on this host instead of using the
 // paper's nominal 1999 hardware constants.
 package main
@@ -92,6 +102,7 @@ import (
 
 	"metricdb/internal/cost"
 	"metricdb/internal/experiments"
+	"metricdb/internal/experiments/advisor"
 	"metricdb/internal/parallel"
 	"metricdb/internal/report"
 	"metricdb/internal/vec"
@@ -99,7 +110,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12, chaos, intra, kernels, block, obs, distobs, load, storage, engines")
+		experiment = flag.String("experiment", "all", "experiment to run: all, micro, fig7..fig12, chaos, intra, kernels, block, obs, distobs, load, storage, engines, advisor")
 		scaleName  = flag.String("scale", "small", "dataset scale: small, medium or paper")
 		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
 		measure    = flag.Bool("measure", false, "calibrate the cost model on this host instead of nominal 1999 constants")
@@ -111,15 +122,16 @@ func main() {
 		loadOut    = flag.String("load-out", "BENCH_load.json", "output file for the load experiment's JSON results")
 		storageOut = flag.String("storage-out", "BENCH_storage.json", "output file for the storage experiment's JSON results")
 		enginesOut = flag.String("engines-out", "BENCH_engines.json", "output file for the engines experiment's JSON results")
+		advisorOut = flag.String("advisor-out", "BENCH_advisor.json", "output file for the advisor experiment's JSON results")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *blockOut, *obsOut, *distObsOut, *loadOut, *storageOut, *enginesOut); err != nil {
+	if err := run(*experiment, *scaleName, *csvDir, *measure, *intraOut, *kernelsOut, *blockOut, *obsOut, *distObsOut, *loadOut, *storageOut, *enginesOut, *advisorOut); err != nil {
 		fmt.Fprintln(os.Stderr, "msqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, blockOut, obsOut, distObsOut, loadOut, storageOut, enginesOut string) error {
+func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOut, blockOut, obsOut, distObsOut, loadOut, storageOut, enginesOut, advisorOut string) error {
 	sc, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -134,7 +146,7 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 	valid := map[string]bool{"all": true, "micro": true, "fig7": true, "fig8": true,
 		"fig9": true, "fig10": true, "fig11": true, "fig12": true, "chaos": true,
 		"intra": true, "kernels": true, "block": true, "obs": true, "distobs": true,
-		"load": true, "storage": true, "engines": true}
+		"load": true, "storage": true, "engines": true, "advisor": true}
 	if !valid[experiment] {
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -219,6 +231,30 @@ func run(experiment, scaleName, csvDir string, measure bool, intraOut, kernelsOu
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", enginesOut)
+	}
+
+	if want("advisor") {
+		sweep, err := advisor.Run([]int{4, 8}, 3000)
+		if err != nil {
+			return err
+		}
+		for _, r := range sweep.Results {
+			if !r.Identical {
+				return fmt.Errorf("advisor: %s at dim %d: calibrated run diverged from the plain reference",
+					r.Engine, r.Dim)
+			}
+			if !r.Improved {
+				return fmt.Errorf("advisor: %s at dim %d: calibration did not improve the cost model (MAPE %.4f raw vs %.4f calibrated)",
+					r.Engine, r.Dim, r.MAPERaw, r.MAPECalibrated)
+			}
+		}
+		if err := emit(sweep.Figure()); err != nil {
+			return err
+		}
+		if err := advisor.WriteJSONFile(advisorOut, sweep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", advisorOut)
 	}
 
 	needSweep := want("fig7") || want("fig8") || want("fig9") || want("fig10")

@@ -13,8 +13,9 @@
 //	       [-advise]
 //
 // -advise additionally runs the engine advisor on the generated items and
-// prints the recommendation; advisor warnings (estimator fallbacks) go to
-// stderr.
+// prints the recommendation; advisor warnings (estimator fallbacks) are
+// appended to the stdout advice line and repeated on stderr — a fallback
+// ranking is never printed silently.
 //
 // -layout soa writes version-2 columnar page records (contiguous float64
 // blocks per page); f32 adds the float32 sibling; quant adds VA-file-style
@@ -124,12 +125,24 @@ func run(out, format string, pagecap int, kind string, n, dim, clusters int, spr
 		if err != nil {
 			return err
 		}
-		fmt.Printf("advice: engine=%s intrinsic_dim=%.1f — %s\n", a.Engine, a.IntrinsicDim, a.Reason)
-		// A warning means the recommendation rests on a fallback; it goes
-		// to stderr rather than being dropped.
+		fmt.Print(adviceLine(a))
+		// The warning is repeated on stderr for log separation, but never
+		// only there — see adviceLine.
 		if a.Warning != "" {
 			fmt.Fprintln(os.Stderr, "msqgen: advisor warning:", a.Warning)
 		}
 	}
 	return nil
+}
+
+// adviceLine renders the advisor's recommendation for stdout. A warning
+// (estimator fallback) is part of the line itself: anyone reading or
+// piping only stdout must see that the ranking rests on a fallback rather
+// than receive it silently.
+func adviceLine(a metricdb.Advice) string {
+	line := fmt.Sprintf("advice: engine=%s intrinsic_dim=%.1f — %s", a.Engine, a.IntrinsicDim, a.Reason)
+	if a.Warning != "" {
+		line += fmt.Sprintf(" (warning: %s)", a.Warning)
+	}
+	return line + "\n"
 }

@@ -3,7 +3,10 @@ package main
 import (
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"metricdb"
 
 	"metricdb/internal/dataset"
 	"metricdb/internal/store"
@@ -91,5 +94,21 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run(filepath.Join(t.TempDir(), "x"), "dir", 0, "nearuniform", 10, 2, 1, 0, 99, false, 0, 1, "aos", 0, false); err == nil {
 		t.Error("bad intrinsic dimension accepted")
+	}
+}
+
+// TestAdviceLineSurfacesWarning: an estimator fallback must appear in the
+// stdout advice line itself, not only on stderr — a piped consumer must
+// never read a silently degraded ranking.
+func TestAdviceLineSurfacesWarning(t *testing.T) {
+	healthy := metricdb.Advice{Engine: metricdb.EngineXTree, IntrinsicDim: 5.2, Reason: "tree retains selectivity"}
+	if got := adviceLine(healthy); !strings.Contains(got, "advice: engine=xtree") || strings.Contains(got, "warning") {
+		t.Errorf("healthy advice line wrong: %q", got)
+	}
+	degraded := healthy
+	degraded.Warning = "intrinsic-dimension estimate failed: duplicated data"
+	got := adviceLine(degraded)
+	if !strings.Contains(got, "warning: intrinsic-dimension estimate failed") {
+		t.Errorf("fallback warning missing from advice line: %q", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"metricdb/internal/admit"
 	"metricdb/internal/dataset"
 	"metricdb/internal/wire"
 )
@@ -234,6 +235,124 @@ func TestAdminEndpoints(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("/debug/advise?m=0: status %d, want 400", resp.StatusCode)
 		}
+	}
+}
+
+// TestCalibrationEndToEnd serves with -calibrate and -admit, drives single
+// queries through the admission former (whose BlockObserver feeds the
+// calibration recorder), and checks the whole loop is visible from the
+// admin surface: the metricdb_advisor_* gauges and the counter-partition
+// counters on /metrics, the always-present warning field on /debug/advise,
+// and the ?calibrated=1 recorder snapshot with a live sample count.
+func TestCalibrationEndToEnd(t *testing.T) {
+	items := dataset.Uniform(9, 500, 4)
+	cfg := wire.ServerConfig{Admit: &admit.Config{
+		MaxQueue:   admit.DefaultMaxQueue,
+		MaxWidth:   admit.DefaultMaxWidth,
+		MaxWait:    time.Millisecond,
+		DefaultSLO: time.Second,
+	}}
+	db, srv, lis, admin, err := serve("127.0.0.1:0", dataSource{items: items, calibrate: true}, "scan", cfg, "127.0.0.1:0", -1, "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+	defer db.Close()              //nolint:errcheck
+	go admin.srv.Serve(admin.lis) //nolint:errcheck
+	defer admin.srv.Close()
+
+	c, err := wire.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Query(wire.QuerySpec{Vector: []float64{0.5, 0.4, 0.3, 0.2}, Kind: "knn", K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Calibration().Samples(); got == 0 {
+		t.Fatal("admitted queries recorded no calibration samples")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + admin.lis.Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`metricdb_advisor_abs_pct_error{engine="scan",counter="dist_calcs",model="raw"}`,
+		`metricdb_advisor_abs_pct_error{engine="scan",counter="dist_calcs",model="calibrated"}`,
+		`metricdb_advisor_abs_pct_error{engine="scan",counter="pages_read",model="raw"}`,
+		`metricdb_advisor_factor{engine="scan",counter="dist_calcs"}`,
+		`metricdb_advisor_factor{engine="scan",counter="pages_read"}`,
+		`metricdb_advisor_fitted_ns{engine="scan",unit="dist_calc"}`,
+		`metricdb_advisor_fitted_ns{engine="scan",unit="time_scale"}`,
+		`metricdb_distance_pivot_total{engine="scan"}`,
+		"metricdb_quant_filtered_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(metrics, `metricdb_advisor_samples{engine="scan"}`) ||
+		strings.Contains(metrics, `metricdb_advisor_samples{engine="scan"} 0`) {
+		t.Errorf("/metrics advisor sample count absent or zero")
+	}
+
+	// The advise response always carries the warning key ("" when healthy)
+	// and, with ?calibrated=1, the recorder snapshot.
+	advise := get("/debug/advise?m=2&k=3&calibrated=1")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(advise), &doc); err != nil {
+		t.Fatalf("/debug/advise is not JSON: %v: %.200s", err, advise)
+	}
+	if _, ok := doc["warning"]; !ok {
+		t.Error("/debug/advise response has no warning key")
+	}
+	cal, ok := doc["calibration"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/advise?calibrated=1 has no calibration section: %.300s", advise)
+	}
+	if samples, _ := cal["samples"].(float64); samples < 1 {
+		t.Errorf("calibration snapshot samples = %v, want >= 1", cal["samples"])
+	}
+	if _, ok := doc["calibrated"].([]any); !ok {
+		t.Errorf("advise response carries no calibrated ranking: %.300s", advise)
+	}
+
+	// Asking for the calibrated view on a server running without -calibrate
+	// is a client error, not a silently absent section.
+	pdb, psrv, plis, padmin, err := serve("127.0.0.1:0", dataSource{items: items}, "scan", wire.ServerConfig{}, "127.0.0.1:0", -1, "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+	defer pdb.Close()               //nolint:errcheck
+	plis.Close()                    //nolint:errcheck
+	go padmin.srv.Serve(padmin.lis) //nolint:errcheck
+	defer padmin.srv.Close()
+	resp, err := http.Get("http://" + padmin.lis.Addr().String() + "/debug/advise?calibrated=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("?calibrated=1 without -calibrate: status %d, want 400", resp.StatusCode)
 	}
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"metricdb/internal/engine"
 	"metricdb/internal/engines"
 	"metricdb/internal/msq"
+	"metricdb/internal/obs"
 	"metricdb/internal/store"
 	"metricdb/internal/vec"
 )
@@ -92,6 +94,13 @@ type Options struct {
 	// instead of issuing preads. Only OpenStored consults it; on platforms
 	// without mmap support the disk silently falls back to pread.
 	Mmap bool
+	// Calibrate attaches a predicted-vs-observed calibration recorder to
+	// the database: every completed QueryAll batch and EXPLAIN run is
+	// scored against the advisor's cost prediction for the active engine,
+	// and DB.AdviseBatch additionally returns the calibrated ranking.
+	// Strictly observational — answers and Stats are bit-identical with
+	// and without it (see internal/calib).
+	Calibrate bool
 }
 
 // XTreeOptions exposes the X-tree tuning knobs.
@@ -305,6 +314,10 @@ type DB struct {
 	eng   engine.Engine
 	proc  *msq.Processor
 	opts  Options
+	// calib is the predicted-vs-observed calibration meter, nil unless
+	// Options.Calibrate was set. Held by pointer so WithConcurrency's
+	// struct copy shares one recorder.
+	calib *calibMeter
 	// closers holds the file-backed disks of a stored database; nil for
 	// the in-memory databases Open builds.
 	closers []io.Closer
@@ -345,7 +358,9 @@ func Open(items []Item, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts}, nil
+	db := &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts}
+	db.setupCalibration()
+	return db, nil
 }
 
 // Len returns the number of stored items.
@@ -450,9 +465,20 @@ func (b *Batch) QueryAll(queries []Query) ([][]Answer, Stats, error) {
 // QueryAllContext is QueryAll with cancellation (see QueryContext for the
 // resume-after-abort semantics).
 func (b *Batch) QueryAllContext(ctx context.Context, queries []Query) ([][]Answer, Stats, error) {
+	m := b.db.calib
+	var begin time.Time
+	var kern0, fetch0 int64
+	if m != nil {
+		begin = time.Now()
+		kern0, fetch0 = m.phaseSums(b.db.proc)
+	}
 	lists, stats, err := b.session.MultiQueryAllContext(ctx, queries)
 	if err != nil {
 		return nil, stats, err
+	}
+	if m != nil {
+		kern1, fetch1 := m.phaseSums(b.db.proc)
+		m.record(queries, stats, time.Since(begin), kern1-kern0, fetch1-fetch0)
 	}
 	out := make([][]Answer, len(lists))
 	for i, l := range lists {
@@ -479,8 +505,21 @@ func (db *DB) Explain(queries []Query) (*Explain, error) {
 }
 
 // ExplainContext is Explain bounded by ctx (checked once per data page).
+// With calibration enabled the profile additionally carries the advisor's
+// predicted-cost rows (raw model and, once samples exist, calibrated) next
+// to the observed counters, and the run is recorded as a calibration
+// sample with its exact phase split.
 func (db *DB) ExplainContext(ctx context.Context, queries []Query) (*Explain, error) {
-	return db.proc.ExplainContext(ctx, queries)
+	ex, err := db.proc.ExplainContext(ctx, queries)
+	if err != nil {
+		return ex, err
+	}
+	if m := db.calib; m != nil {
+		m.annotateExplain(ex, queries)
+		m.record(queries, ex.Stats, time.Duration(ex.WallNs),
+			ex.PhaseNs[obs.PhaseKernel.String()], ex.PhaseNs[obs.PhasePageFetch.String()])
+	}
+	return ex, nil
 }
 
 // Ranking is an incremental nearest-neighbor iterator: objects are emitted
@@ -513,17 +552,35 @@ type ProcessorStats struct {
 	DistCalcs int64
 	// PartialAbandoned counts the abandoned subset of DistCalcs.
 	PartialAbandoned int64
+	// PivotDistCalcs counts the query-to-pivot setup distances of the
+	// pivot-filtering engines (zero for engines without a pivot phase).
+	PivotDistCalcs int64
+	// QuantFiltered counts the (query, item) pairs lossy filters excluded
+	// without a distance calculation (quant layout, VA-file bounds).
+	QuantFiltered int64
+	// Calibration is the advisor calibration snapshot (without the sample
+	// ring); nil unless the DB was opened with Options.Calibrate.
+	Calibration *CalibrationStats
 }
 
 // ProcessorStats reports the processor's configuration and cumulative work.
 func (db *DB) ProcessorStats() ProcessorStats {
-	return ProcessorStats{
+	ps := ProcessorStats{
 		Avoidance:        db.proc.Options().Avoidance,
 		Concurrency:      db.proc.Concurrency(),
 		Layout:           db.proc.Options().Layout.String(),
 		DistCalcs:        db.proc.Metric().Count(),
 		PartialAbandoned: db.proc.Metric().Abandoned(),
+		QuantFiltered:    db.proc.Metric().Filtered(),
 	}
+	if pc, ok := db.eng.(engine.PivotCoster); ok {
+		ps.PivotDistCalcs = pc.PivotDistCalcs()
+	}
+	if db.calib != nil {
+		snap := db.calib.rec.Snapshot(0)
+		ps.Calibration = &snap
+	}
+	return ps
 }
 
 // WithConcurrency returns a DB sharing this DB's storage, buffer, and

@@ -1,0 +1,257 @@
+package calib
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"metricdb/internal/cost"
+)
+
+func sample(engine string, predDist, obsDist, predPages, obsPages int64) Sample {
+	return Sample{
+		Engine: engine,
+		Width:  8,
+		Predicted: cost.EngineEstimate{
+			Engine:    engine,
+			DistCalcs: predDist,
+			PagesRead: predPages,
+			CPU:       time.Duration(predDist) * time.Microsecond,
+			IO:        time.Duration(predPages) * time.Millisecond,
+			Total:     time.Duration(predDist)*time.Microsecond + time.Duration(predPages)*time.Millisecond,
+		},
+		Observed: Observed{
+			DistCalcs: obsDist,
+			PagesRead: obsPages,
+			WallNs:    int64(time.Millisecond),
+		},
+	}
+}
+
+// The recorder is deterministic: the same sample sequence yields the same
+// snapshot bit for bit.
+func TestDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRecorder(Config{Seed: 42})
+		for i := int64(1); i <= 20; i++ {
+			r.Record(sample("scan", 100*i, 150*i, 10*i, 9*i))
+			r.Record(sample("pivot", 80*i, 20*i, 5*i, 5*i))
+		}
+		return r.Snapshot(-1)
+	}
+	a, b := build(), build()
+	if len(a.Ring) != len(b.Ring) || len(a.Engines) != len(b.Engines) {
+		t.Fatalf("snapshots differ in shape: %+v vs %+v", a, b)
+	}
+	for i := range a.Engines {
+		if a.Engines[i] != b.Engines[i] {
+			t.Fatalf("engine %d differs: %+v vs %+v", i, a.Engines[i], b.Engines[i])
+		}
+	}
+	for i := range a.Ring {
+		if a.Ring[i] != b.Ring[i] {
+			t.Fatalf("ring %d differs: %+v vs %+v", i, a.Ring[i], b.Ring[i])
+		}
+	}
+}
+
+// Residuals are leave-one-out: the first sample's calibrated error equals
+// its raw error (no factor existed yet), and a repeated constant bias
+// drives the calibrated error below the raw error while raw stays put.
+func TestLeaveOneOutResiduals(t *testing.T) {
+	r := NewRecorder(Config{})
+	s := r.Record(sample("scan", 100, 200, 10, 20))
+	if s.RawErrDistCalcs != s.CalErrDistCalcs {
+		t.Fatalf("first sample should have cal == raw error: %v vs %v", s.RawErrDistCalcs, s.CalErrDistCalcs)
+	}
+	if got := s.RawErrDistCalcs; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("raw err = %v, want 0.5", got)
+	}
+	for i := 0; i < 30; i++ {
+		s = r.Record(sample("scan", 100, 200, 10, 20))
+	}
+	if s.CalErrDistCalcs >= s.RawErrDistCalcs {
+		t.Fatalf("after constant bias, calibrated error %v should beat raw %v", s.CalErrDistCalcs, s.RawErrDistCalcs)
+	}
+	snap := r.Snapshot(0)
+	if len(snap.Engines) != 1 {
+		t.Fatalf("want 1 engine, got %d", len(snap.Engines))
+	}
+	e := snap.Engines[0]
+	if e.CalAbsPctErrDistCalcs >= e.RawAbsPctErrDistCalcs {
+		t.Fatalf("EWMA calibrated err %v should beat raw %v", e.CalAbsPctErrDistCalcs, e.RawAbsPctErrDistCalcs)
+	}
+	// Factor converges toward the true ratio 2.0.
+	if f := r.Factor("scan", "dist_calcs"); math.Abs(f-2.0) > 0.05 {
+		t.Fatalf("factor = %v, want ~2.0", f)
+	}
+	if f := r.Factor("scan", "pages_read"); math.Abs(f-2.0) > 0.05 {
+		t.Fatalf("pages factor = %v, want ~2.0", f)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 4})
+	for i := int64(0); i < 10; i++ {
+		r.Record(sample("scan", 100+i, 100, 10, 10))
+	}
+	snap := r.Snapshot(-1)
+	if len(snap.Ring) != 4 {
+		t.Fatalf("ring len = %d, want 4", len(snap.Ring))
+	}
+	// Oldest-first: the ring holds the last four samples (i = 6..9).
+	if got := snap.Ring[0].Predicted.DistCalcs; got != 106 {
+		t.Fatalf("ring[0] pred dist = %d, want 106", got)
+	}
+	if got := snap.Ring[3].Predicted.DistCalcs; got != 109 {
+		t.Fatalf("ring[3] pred dist = %d, want 109", got)
+	}
+	if snap.Samples != 10 {
+		t.Fatalf("total samples = %d, want 10", snap.Samples)
+	}
+	// Snapshot(history) bounds the returned copy too.
+	if got := len(r.Snapshot(2).Ring); got != 2 {
+		t.Fatalf("Snapshot(2) ring len = %d, want 2", got)
+	}
+	if got := len(r.Snapshot(0).Ring); got != 0 {
+		t.Fatalf("Snapshot(0) ring len = %d, want 0", got)
+	}
+}
+
+// Calibrate rescales counters and times and re-sorts by corrected Total;
+// engines without samples pass through raw.
+func TestCalibrateResorts(t *testing.T) {
+	r := NewRecorder(Config{})
+	// Teach the recorder that scan's predictions are 4x too low.
+	for i := 0; i < 40; i++ {
+		r.Record(sample("scan", 100, 400, 10, 40))
+	}
+	raw := []cost.EngineEstimate{
+		{Engine: "scan", DistCalcs: 100, PagesRead: 10, CPU: 1 * time.Millisecond, IO: 1 * time.Millisecond, Total: 2 * time.Millisecond},
+		{Engine: "pivot", DistCalcs: 500, PagesRead: 50, CPU: 3 * time.Millisecond, IO: 3 * time.Millisecond, Total: 6 * time.Millisecond},
+	}
+	cal := r.Calibrate(raw)
+	if len(cal) != 2 {
+		t.Fatalf("len = %d", len(cal))
+	}
+	// scan's corrected total (~8ms) should now rank behind pivot's raw 6ms.
+	if cal[0].Engine != "pivot" || cal[1].Engine != "scan" {
+		t.Fatalf("calibrated order = %s,%s; want pivot,scan", cal[0].Engine, cal[1].Engine)
+	}
+	if cal[0] != raw[1] {
+		t.Fatalf("unsampled engine should pass through unchanged: %+v vs %+v", cal[0], raw[1])
+	}
+	s := cal[1]
+	if s.DistCalcs < 350 || s.DistCalcs > 450 {
+		t.Fatalf("calibrated scan DistCalcs = %d, want ~400", s.DistCalcs)
+	}
+	if s.Total != s.IO+s.CPU {
+		t.Fatalf("Total %v != IO %v + CPU %v", s.Total, s.IO, s.CPU)
+	}
+	// Input must not be mutated.
+	if raw[0].DistCalcs != 100 {
+		t.Fatalf("Calibrate mutated its input: %+v", raw[0])
+	}
+}
+
+// PredictWall stays silent below MinSamples and predicts after.
+func TestPredictWallMinSamples(t *testing.T) {
+	r := NewRecorder(Config{MinSamples: 5})
+	est := cost.EngineEstimate{Engine: "scan", DistCalcs: 100, PagesRead: 10, Total: time.Millisecond}
+	for i := 0; i < 4; i++ {
+		r.Record(sample("scan", 100, 100, 10, 10))
+		if got := r.PredictWall(est); got != 0 {
+			t.Fatalf("PredictWall below MinSamples = %v, want 0", got)
+		}
+	}
+	r.Record(sample("scan", 100, 100, 10, 10))
+	if got := r.PredictWall(est); got == 0 {
+		t.Fatalf("PredictWall at MinSamples should predict, got 0")
+	}
+	if got := r.PredictWall(cost.EngineEstimate{Engine: "vafile", Total: time.Millisecond}); got != 0 {
+		t.Fatalf("unknown engine should predict 0, got %v", got)
+	}
+}
+
+// PredictWall prefers fitted unit constants when phase splits were
+// observed: 1000 ns/dist × 100 dists + 10000 ns/page × 10 pages.
+func TestPredictWallFittedConstants(t *testing.T) {
+	r := NewRecorder(Config{MinSamples: 1})
+	s := sample("scan", 100, 100, 10, 10)
+	s.Observed.KernelNs = 100 * 1000
+	s.Observed.FetchNs = 10 * 10000
+	r.Record(s)
+	est := s.Predicted
+	got := r.PredictWall(est)
+	want := time.Duration(100*1000 + 10*10000)
+	if got != want {
+		t.Fatalf("PredictWall = %v, want %v", got, want)
+	}
+}
+
+// A pathological sample (observed 1000000x predicted) moves the factor by
+// at most the clamp, not the raw ratio.
+func TestFactorClamped(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Record(sample("scan", 1, 1_000_000_000, 1, 1))
+	if f := r.Factor("scan", "dist_calcs"); f > 1025 {
+		t.Fatalf("factor %v exceeds the 1024 clamp", f)
+	}
+	// Observed zero clamps downward instead of producing -Inf.
+	r2 := NewRecorder(Config{})
+	r2.Record(sample("scan", 1000, 0, 10, 10))
+	if f := r2.Factor("scan", "dist_calcs"); math.IsInf(f, 0) || math.IsNaN(f) || f <= 0 {
+		t.Fatalf("zero-observation factor = %v", f)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := NewRecorder(Config{})
+	if r.AbsPctError("scan", "dist_calcs", false) != 0 || r.Factor("nope", "pages_read") != 1 || r.FittedNs("nope", "dist_calc") != 0 {
+		t.Fatal("zero-state accessors should be inert")
+	}
+	s := sample("scan", 100, 150, 10, 10)
+	s.Observed.KernelNs = 150 * 500
+	s.Observed.FetchNs = 10 * 9000
+	r.Record(s)
+	if got := r.AbsPctError("scan", "dist_calcs", false); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("raw abs pct err = %v, want 1/3", got)
+	}
+	if got := r.FittedNs("scan", "dist_calc"); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("fitted dist ns = %v, want 500", got)
+	}
+	if got := r.FittedNs("scan", "page_read"); math.Abs(got-9000) > 1e-9 {
+		t.Fatalf("fitted page ns = %v, want 9000", got)
+	}
+	if got := r.EngineSamples("scan"); got != 1 {
+		t.Fatalf("engine samples = %d, want 1", got)
+	}
+	if got := r.Samples(); got != 1 {
+		t.Fatalf("samples = %d, want 1", got)
+	}
+}
+
+// Concurrent Record/Calibrate/Snapshot under -race.
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(0); i < 200; i++ {
+				r.Record(sample("scan", 100, 100+i, 10, 10))
+				r.CalibrateOne(cost.EngineEstimate{Engine: "scan", DistCalcs: 100, PagesRead: 10})
+				if i%32 == 0 {
+					r.Snapshot(8)
+					r.PredictWall(cost.EngineEstimate{Engine: "scan", Total: time.Millisecond})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Samples(); got != 8*200 {
+		t.Fatalf("samples = %d, want %d", got, 8*200)
+	}
+}

@@ -147,6 +147,22 @@ func (m Model) EstimateBatch(shape BatchShape) ([]EngineEstimate, error) {
 	return ests, nil
 }
 
+// EstimateFor prices the batch and returns the estimate for one named
+// engine. It errors on an unknown engine name so callers cannot silently
+// record calibration samples against a missing prediction.
+func (m Model) EstimateFor(shape BatchShape, engine string) (EngineEstimate, error) {
+	ests, err := m.EstimateBatch(shape)
+	if err != nil {
+		return EngineEstimate{}, err
+	}
+	for _, e := range ests {
+		if e.Engine == engine {
+			return e, nil
+		}
+	}
+	return EngineEstimate{}, fmt.Errorf("cost: no estimate for engine %q", engine)
+}
+
 func (m Model) price(engine string, seqPages, randPages, distCalcs, pivotCalcs float64) EngineEstimate {
 	return m.priceWithFilter(engine, seqPages, randPages, distCalcs, pivotCalcs, 0)
 }

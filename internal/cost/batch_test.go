@@ -127,3 +127,29 @@ func TestSelectivityMonotonic(t *testing.T) {
 		t.Errorf("selectivity at dim 64 is %g, want saturation at 1", prev)
 	}
 }
+
+// TestEstimateFor: the single-engine lookup agrees with the full ranking
+// and rejects unknown names.
+func TestEstimateFor(t *testing.T) {
+	m := PaperModel(16)
+	shape := BatchShape{Queries: 8, Items: 4000, PageCapacity: 64, IntrinsicDim: 8, MeanK: 10}
+	ests, err := m.EstimateBatch(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range ests {
+		got, err := m.EstimateFor(shape, want.Engine)
+		if err != nil {
+			t.Fatalf("EstimateFor(%s): %v", want.Engine, err)
+		}
+		if got != want {
+			t.Fatalf("EstimateFor(%s) = %+v, want %+v", want.Engine, got, want)
+		}
+	}
+	if _, err := m.EstimateFor(shape, "btree"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := m.EstimateFor(BatchShape{}, "scan"); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package advisor
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunSmoke runs a miniature calibration evaluation and checks the
+// invariants the committed artifact rests on: calibration stays strictly
+// observational (bit-identical runs), it improves the cost model's
+// prediction error for every engine, the recorder accumulated the
+// expected sample count, and the JSON document round-trips.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("advisor sweep skipped in -short")
+	}
+	sweep, err := Run([]int{4}, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sweep.Results), len(sweep.Engines); got != want {
+		t.Fatalf("%d results, want %d", got, want)
+	}
+	for _, r := range sweep.Results {
+		if !r.Identical {
+			t.Errorf("%s dim=%d: calibrated run diverged from the plain reference", r.Engine, r.Dim)
+		}
+		if !r.Improved {
+			t.Errorf("%s dim=%d: calibration did not improve (MAPE %.4f raw vs %.4f calibrated)",
+				r.Engine, r.Dim, r.MAPERaw, r.MAPECalibrated)
+		}
+		if want := int64(WarmupRounds + JudgedRounds); r.Samples != want {
+			t.Errorf("%s dim=%d: %d recorder samples, want %d", r.Engine, r.Dim, r.Samples, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sweep); err != nil {
+		t.Fatal(err)
+	}
+	var back Sweep
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(sweep.Results) {
+		t.Errorf("round-trip lost results: %d vs %d", len(back.Results), len(sweep.Results))
+	}
+	if fig := sweep.Figure(); len(fig.Series) != 2*len(sweep.Engines) || len(fig.XVals) != 1 {
+		t.Errorf("figure shape: %d series, %d x-values", len(fig.Series), len(fig.XVals))
+	}
+}

@@ -769,6 +769,7 @@ func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx 
 	kernel := s.proc.metric.Kernel()
 	filters := s.quantFilters(page, active, sc.filters)
 	var calcs, abandoned int64
+	startFiltered := stats.QuantFiltered
 	// qds mirrors each active query's pruning distance exactly: a pruning
 	// distance changes only when the query's own Consider accepts an item
 	// (st.bound is fixed during the page loop), and every accept refreshes
@@ -841,6 +842,7 @@ func (s *Session) processPage(page *store.Page, active []*queryState, activeIdx 
 		}
 	}
 	s.proc.metric.AddCalls(calcs, abandoned)
+	s.proc.metric.AddFiltered(stats.QuantFiltered - startFiltered)
 }
 
 // processPageTraced is processPage with tracing enabled: the same loop,
@@ -858,6 +860,7 @@ func (s *Session) processPageTraced(tr *obs.Tracer, page *store.Page, active []*
 	kernel := s.proc.metric.Kernel()
 	filters := s.quantFilters(page, active, sc.filters)
 	var calcs, abandoned int64
+	startFiltered := stats.QuantFiltered
 	known := sc.known
 	qds := sc.qds[:len(active)]
 	for i, st := range active {
@@ -918,6 +921,7 @@ func (s *Session) processPageTraced(tr *obs.Tracer, page *store.Page, active []*
 		}
 	}
 	s.proc.metric.AddCalls(calcs, abandoned)
+	s.proc.metric.AddFiltered(stats.QuantFiltered - startFiltered)
 	tr.Observe(obs.PhaseAvoid, avoidNs)
 	if kernelDur := time.Since(pageStart) - avoidNs; kernelDur > 0 {
 		tr.Observe(obs.PhaseKernel, kernelDur)

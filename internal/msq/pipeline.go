@@ -616,6 +616,7 @@ func (s *Session) processPageConcurrent(pool *workerPool, page *store.Page, acti
 	stats.AvoidTries += tries.Load()
 	stats.Avoided += avoided.Load()
 	stats.QuantFiltered += filteredN.Load()
+	s.proc.metric.AddFiltered(filteredN.Load())
 
 	pool.forEachChunk(nActive, width, func(_, lo, hi int) {
 		ex := s.explain

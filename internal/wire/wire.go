@@ -151,6 +151,13 @@ type Stats struct {
 	// stopped mid-vector because the partial result already exceeded the
 	// query's pruning bound (a subset of DistCalcs).
 	PartialAbandoned int64 `json:"partial_abandoned"`
+	// PivotDistCalcs counts query-to-pivot setup distances of the
+	// pivot-filtering engines — the rest of the distance-work partition
+	// next to DistCalcs. Zero for engines without a pivot phase.
+	PivotDistCalcs int64 `json:"pivot_dist_calcs,omitempty"`
+	// QuantFiltered counts (query, item) pairs a lossy filter excluded
+	// without any distance calculation (quant layout, VA-file bounds).
+	QuantFiltered int64 `json:"quant_filtered,omitempty"`
 	// Degraded and Coverage expose the degraded-result contract when the
 	// backing processor runs over a partitioned execution; a single-node
 	// server always reports Degraded=false, Coverage=1.
@@ -196,6 +203,8 @@ func fromStats(s msq.Stats) Stats {
 		AvoidTries:       s.AvoidTries,
 		Avoided:          s.Avoided,
 		PartialAbandoned: s.PartialAbandoned,
+		PivotDistCalcs:   s.PivotDistCalcs,
+		QuantFiltered:    s.QuantFiltered,
 		Degraded:         s.Degraded,
 		Coverage:         s.Coverage(),
 	}

@@ -144,7 +144,9 @@ func openStoredDirect(dir string, items []Item, dim int, opts Options, bufferPag
 		fd.Close() //nolint:errcheck
 		return nil, err
 	}
-	return &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts, closers: []io.Closer{fd}}, nil
+	db := &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts, closers: []io.Closer{fd}}
+	db.setupCalibration()
+	return db, nil
 }
 
 // storedPivotTable returns the dataset's pivot table: the persisted one
@@ -238,7 +240,9 @@ func openStoredDerived(dir string, items []Item, dim int, opts Options, bufferPa
 		}
 		return nil, err
 	}
-	return &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts, closers: []io.Closer{fd}}, nil
+	db := &DB{items: items, dim: dim, eng: eng, proc: proc, opts: opts, closers: []io.Closer{fd}}
+	db.setupCalibration()
+	return db, nil
 }
 
 // Close releases the file handles and memory mappings of a stored database.
